@@ -1,0 +1,246 @@
+package prosper
+
+// One benchmark per table and figure of the paper (DESIGN.md §5). Each
+// bench runs the corresponding experiment harness at a reduced scale and
+// reports the figure's headline metrics via b.ReportMetric, so
+// `go test -bench=. -benchmem` regenerates the whole evaluation.
+
+import (
+	"testing"
+
+	"prosper/internal/experiments"
+	"prosper/internal/sim"
+)
+
+// benchScale keeps benchmark iterations affordable while exercising the
+// full machine.
+func benchScale() experiments.Scale {
+	s := experiments.TestScale()
+	return s
+}
+
+// perfBenchScale matches the interval the Fig 8/9 comparisons need to
+// amortize per-checkpoint fixed costs.
+func perfBenchScale() experiments.Scale {
+	s := experiments.TestScale()
+	s.Interval = 300 * sim.Microsecond
+	s.Checkpoints = 2
+	s.Warmup = 50 * sim.Microsecond
+	return s
+}
+
+func BenchmarkFig1StackFraction(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig1(benchScale())
+		frac = rows[0].StackReads + rows[0].StackWrites
+	}
+	b.ReportMetric(frac, "gapbs_stack_frac")
+}
+
+func BenchmarkFig2BeyondSP(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Fig2(benchScale())
+		frac = res.AvgBeyondSPFrac
+	}
+	b.ReportMetric(frac, "ycsb_beyond_sp_frac")
+}
+
+func BenchmarkFig3SPAwareness(b *testing.B) {
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig3(benchScale())
+		// Average SP-awareness improvement across all mechanisms/apps.
+		byKey := map[string]float64{}
+		for _, r := range rows {
+			key := r.Benchmark + "/" + r.Mechanism
+			if r.SPAware {
+				byKey[key+"/a"] = r.Normalized
+			} else {
+				byKey[key+"/u"] = r.Normalized
+			}
+		}
+		sum, n := 0.0, 0
+		for _, r := range rows {
+			if r.SPAware {
+				continue
+			}
+			key := r.Benchmark + "/" + r.Mechanism
+			sum += 1 - byKey[key+"/a"]/byKey[key+"/u"]
+			n++
+		}
+		improvement = sum / float64(n)
+	}
+	b.ReportMetric(improvement, "mean_sp_aware_gain")
+}
+
+func BenchmarkFig4CopySize(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig4(benchScale())
+		for _, r := range rows {
+			if r.Benchmark == "gapbs_pr" {
+				gap = r.ReductionRatio
+			}
+		}
+	}
+	b.ReportMetric(gap, "gapbs_page_vs_8B_x")
+}
+
+func BenchmarkFig8StackPersistence(b *testing.B) {
+	var prosperNorm, sspNorm float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig8(perfBenchScale())
+		for _, r := range rows {
+			if r.Benchmark == "ycsb_mem" && r.Mechanism == "prosper" {
+				prosperNorm = r.Normalized
+			}
+			if r.Benchmark == "ycsb_mem" && r.Mechanism == "ssp-10us" {
+				sspNorm = r.Normalized
+			}
+		}
+	}
+	b.ReportMetric(prosperNorm, "ycsb_prosper_norm")
+	b.ReportMetric(sspNorm, "ycsb_ssp10us_norm")
+}
+
+func BenchmarkFig9MemoryPersistence(b *testing.B) {
+	var all, combo float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig9(perfBenchScale())
+		for _, r := range rows {
+			if r.Benchmark == "ycsb_mem" && r.SSPInterval == "10us" {
+				switch r.Combination {
+				case "ssp":
+					all = r.Normalized
+				case "ssp+prosper":
+					combo = r.Normalized
+				}
+			}
+		}
+	}
+	b.ReportMetric(all/combo, "ycsb_overhead_reduction_x")
+}
+
+func BenchmarkFig10Granularity(b *testing.B) {
+	var sparseReduction float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig10(benchScale())
+		var page, fine float64
+		for _, r := range rows {
+			if r.Benchmark == "sparse" && r.Granularity == "page" {
+				page = r.MeanBytes
+			}
+			if r.Benchmark == "sparse" && r.Granularity == "8B" {
+				fine = r.MeanBytes
+			}
+		}
+		if fine > 0 {
+			sparseReduction = page / fine
+		}
+	}
+	b.ReportMetric(sparseReduction, "sparse_size_reduction_x")
+}
+
+func BenchmarkFig11Interval(b *testing.B) {
+	var rec16 float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig11(benchScale())
+		for _, r := range rows {
+			if r.Benchmark == "rec-16" && r.IntervalName == "10ms" {
+				rec16 = r.MeanBytes
+			}
+		}
+	}
+	b.ReportMetric(rec16, "rec16_ckpt_bytes")
+}
+
+func BenchmarkFig12TrackingOverhead(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig12(benchScale())
+		worst = 1.0
+		for _, r := range rows {
+			if r.Speedup < worst {
+				worst = r.Speedup
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst_tracking_speedup")
+}
+
+func BenchmarkFig13HwmLwm(b *testing.B) {
+	var ssspHwm8, ssspHwm32 float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig13(benchScale())
+		for _, r := range rows {
+			if r.Benchmark == "g500_sssp" && r.Param == "hwm" {
+				if r.Value == 8 {
+					ssspHwm8 = float64(r.BitmapStores)
+				}
+				if r.Value == 32 {
+					ssspHwm32 = float64(r.BitmapStores)
+				}
+			}
+		}
+	}
+	b.ReportMetric(ssspHwm8, "sssp_stores_hwm8")
+	b.ReportMetric(ssspHwm32, "sssp_stores_hwm32")
+}
+
+func BenchmarkContextSwitchOverhead(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.ContextSwitch(benchScale())
+		mean = res.MeanTotal
+	}
+	b.ReportMetric(mean, "cycles_per_switch")
+}
+
+func BenchmarkEnergyModel(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		rep, _ := experiments.Energy(benchScale())
+		total = rep.TotalNJ
+	}
+	b.ReportMetric(total, "total_nJ")
+}
+
+func BenchmarkAblationAllocPolicy(b *testing.B) {
+	var accLoads, luLoads float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Ablation(benchScale())
+		for _, r := range rows {
+			if r.Benchmark == "mcf" {
+				if r.Policy == "accumulate-apply" {
+					accLoads = float64(r.BitmapLoads)
+				} else {
+					luLoads = float64(r.BitmapLoads)
+				}
+			}
+		}
+	}
+	b.ReportMetric(accLoads, "mcf_loads_accumulate")
+	b.ReportMetric(luLoads, "mcf_loads_loadupdate")
+}
+
+// BenchmarkEndToEndCheckpoint measures a full process checkpoint through
+// the public API (not a paper figure; a library-level throughput number).
+func BenchmarkEndToEndCheckpoint(b *testing.B) {
+	sys := NewSystem(SystemConfig{Cores: 1})
+	proc := sys.Launch(ProcessSpec{
+		Name:  "bench",
+		Stack: MechProsper,
+		Seed:  5,
+	}, NewRandomWorkload())
+	sys.Run(100 * Microsecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Run(20 * Microsecond)
+		proc.Checkpoint(sys)
+	}
+	b.StopTimer()
+	proc.Shutdown()
+	b.ReportMetric(float64(proc.CheckpointedBytes())/float64(proc.Checkpoints()), "bytes/checkpoint")
+}

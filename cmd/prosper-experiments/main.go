@@ -1,0 +1,140 @@
+// Command prosper-experiments regenerates the paper's tables and figures
+// on the simulated machine. Each experiment prints a paper-style ASCII
+// table; DESIGN.md §5 maps experiment ids to the paper.
+//
+// Usage:
+//
+//	prosper-experiments [-interval us] [-checkpoints n] [-ops n] [fig1 fig2 ... | all | quick]
+//
+// "quick" runs the trace-driven motivation figures only (seconds);
+// "all" also runs the full-machine figures (minutes at default scale).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"prosper/internal/experiments"
+	"prosper/internal/sim"
+	"prosper/internal/stats"
+)
+
+func main() {
+	intervalUS := flag.Int("interval", 200, "checkpoint interval in simulated microseconds (paper: 10000)")
+	checkpoints := flag.Int("checkpoints", 10, "checkpoints per measured run")
+	traceOps := flag.Int("ops", 150000, "trace length for motivation figures")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of ASCII tables")
+	chartOut := flag.Bool("chart", false, "also render each figure as an ASCII bar chart")
+	flag.Parse()
+
+	scale := experiments.DefaultScale()
+	scale.Interval = sim.Time(*intervalUS) * sim.Microsecond
+	scale.Checkpoints = *checkpoints
+	scale.TraceOps = *traceOps
+
+	type experiment struct {
+		name  string
+		heavy bool
+		run   func() *stats.Table
+	}
+	exps := []experiment{
+		{"table1", false, func() *stats.Table { return experiments.Table1() }},
+		{"fig1", false, func() *stats.Table { _, tb := experiments.Fig1(scale); return tb }},
+		{"fig2", false, func() *stats.Table { _, tb := experiments.Fig2(scale); return tb }},
+		{"fig3", false, func() *stats.Table { _, tb := experiments.Fig3(scale); return tb }},
+		{"fig4", false, func() *stats.Table { _, tb := experiments.Fig4(scale); return tb }},
+		{"fig8", true, func() *stats.Table { _, tb := experiments.Fig8(scale); return tb }},
+		{"fig9", true, func() *stats.Table { _, tb := experiments.Fig9(scale); return tb }},
+		{"fig10", true, func() *stats.Table { _, tb := experiments.Fig10(scale); return tb }},
+		{"fig11", true, func() *stats.Table { _, tb := experiments.Fig11(scale); return tb }},
+		{"fig12", true, func() *stats.Table { _, tb := experiments.Fig12(scale); return tb }},
+		{"fig13", true, func() *stats.Table { _, tb := experiments.Fig13(scale); return tb }},
+		{"ablation", true, func() *stats.Table { _, tb := experiments.Ablation(scale); return tb }},
+		{"tracking", true, func() *stats.Table { _, tb := experiments.TrackingCost(scale); return tb }},
+		{"adaptive", true, func() *stats.Table { _, tb := experiments.Adaptive(scale); return tb }},
+		{"ctxswitch", false, func() *stats.Table { _, tb := experiments.ContextSwitch(scale); return tb }},
+		{"energy", false, func() *stats.Table { _, tb := experiments.Energy(scale); return tb }},
+	}
+	byName := map[string]experiment{}
+	for _, e := range exps {
+		byName[e.name] = e
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"quick"}
+	}
+	var selected []experiment
+	for _, a := range args {
+		switch a {
+		case "all":
+			selected = exps
+		case "quick":
+			for _, e := range exps {
+				if !e.heavy {
+					selected = append(selected, e)
+				}
+			}
+		default:
+			e, ok := byName[a]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; available:", a)
+				for _, e := range exps {
+					fmt.Fprintf(os.Stderr, " %s", e.name)
+				}
+				fmt.Fprintln(os.Stderr, " all quick")
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tb := e.run()
+		if *jsonOut {
+			if err := tb.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		fmt.Println(tb.String())
+		if *chartOut {
+			if ch := chartFor(e.name, tb); ch != nil && ch.NumRows() > 0 {
+				fmt.Println(ch.String())
+			}
+		}
+		fmt.Printf("[%s completed in %v wall time]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// chartFor maps each figure to its headline series for bar rendering.
+func chartFor(name string, tb *stats.Table) *stats.Chart {
+	switch name {
+	case "fig1":
+		return stats.ChartFromTable(tb, "stack fraction", "", "stack_total", "benchmark")
+	case "fig3":
+		return stats.ChartFromTable(tb, "normalized time (no SP awareness)", "x", "no_sp_aware", "benchmark", "mechanism")
+	case "fig4":
+		return stats.ChartFromTable(tb, "page/8B checkpoint-size reduction", "x", "reduction", "benchmark")
+	case "fig8":
+		return stats.ChartFromTable(tb, "normalized execution time", "x", "normalized_time", "benchmark", "mechanism")
+	case "fig9":
+		return stats.ChartFromTable(tb, "normalized execution time", "x", "normalized_time", "benchmark", "combination", "ssp_interval")
+	case "fig10":
+		return stats.ChartFromTable(tb, "mean checkpoint bytes", "B", "mean_ckpt_bytes", "benchmark", "granularity")
+	case "fig11":
+		return stats.ChartFromTable(tb, "mean checkpoint bytes", "B", "mean_ckpt_bytes", "benchmark", "interval")
+	case "fig12":
+		return stats.ChartFromTable(tb, "user-IPC speedup", "", "speedup", "benchmark", "granularity")
+	case "fig13":
+		return stats.ChartFromTable(tb, "bitmap loads", "", "bitmap_loads", "benchmark", "param", "value")
+	case "tracking":
+		return stats.ChartFromTable(tb, "normalized time", "x", "normalized_time", "benchmark", "technique")
+	default:
+		return nil
+	}
+}

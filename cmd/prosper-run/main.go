@@ -1,0 +1,158 @@
+// Command prosper-run executes one workload under a chosen combination
+// of persistence mechanisms on the simulated machine and reports the run
+// statistics — the general-purpose driver for exploring configurations
+// outside the fixed experiment harnesses.
+//
+// Usage:
+//
+//	prosper-run -workload gapbs_pr -stack prosper -heap ssp \
+//	            -interval 200 -duration 2000 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prosper/internal/kernel"
+	"prosper/internal/machine"
+	"prosper/internal/persist"
+	"prosper/internal/sim"
+	"prosper/internal/workload"
+)
+
+func mechFactory(name string, consolidationUS int) (persist.Factory, bool) {
+	cons := sim.Time(consolidationUS) * sim.Microsecond
+	switch name {
+	case "", "none":
+		return nil, true
+	case "prosper":
+		return persist.NewProsper(persist.ProsperConfig{}), true
+	case "prosper-adaptive":
+		return persist.NewAdaptiveProsper(persist.AdaptiveConfig{}), true
+	case "dirtybit":
+		return persist.NewDirtybit(persist.DirtybitConfig{}), true
+	case "writeprotect":
+		return persist.NewWriteProtect(persist.DirtybitConfig{}), true
+	case "romulus":
+		return persist.NewRomulus(), true
+	case "ssp":
+		return persist.NewSSP(persist.SSPConfig{ConsolidationInterval: cons}), true
+	default:
+		return nil, false
+	}
+}
+
+func workloadByName(name string, arg int) workload.Program {
+	switch name {
+	case "gapbs_pr":
+		return workload.NewApp(workload.GapbsPR())
+	case "g500_sssp":
+		return workload.NewApp(workload.G500SSSP())
+	case "ycsb_mem":
+		return workload.NewApp(workload.YcsbMem())
+	case "mcf":
+		return workload.NewApp(workload.SpecMCF())
+	case "omnetpp":
+		return workload.NewApp(workload.SpecOmnetpp())
+	case "perlbench":
+		return workload.NewApp(workload.SpecPerlbench())
+	case "leela":
+		return workload.NewApp(workload.SpecLeela())
+	case "random":
+		return workload.NewRandom(workload.MicroParams{})
+	case "stream":
+		return workload.NewStream(workload.MicroParams{})
+	case "sparse":
+		return workload.NewSparse(workload.MicroParams{})
+	case "quicksort":
+		return workload.NewQuicksort(arg)
+	case "recursive":
+		return workload.NewRecursive(arg)
+	case "normal":
+		return workload.NewNormal()
+	case "poisson":
+		return workload.NewPoisson()
+	case "counter":
+		return workload.NewCounter(arg)
+	default:
+		return nil
+	}
+}
+
+func main() {
+	wl := flag.String("workload", "gapbs_pr", "workload name")
+	wlArg := flag.Int("arg", 4096, "workload parameter (elements/depth/iterations)")
+	stack := flag.String("stack", "prosper", "stack mechanism: none|prosper|prosper-adaptive|dirtybit|writeprotect|romulus|ssp")
+	heap := flag.String("heap", "none", "heap mechanism (same choices)")
+	cons := flag.Int("consolidation", 10, "SSP consolidation interval (µs)")
+	intervalUS := flag.Int("interval", 200, "checkpoint interval (simulated µs; 0 disables)")
+	durationUS := flag.Int("duration", 2000, "run duration (simulated µs)")
+	threads := flag.Int("threads", 1, "threads (one workload instance each)")
+	cores := flag.Int("cores", 1, "simulated cores")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	parallel := flag.Bool("parallel-ckpt", false, "checkpoint thread stacks concurrently")
+	dumpStats := flag.Bool("stats", false, "dump all simulator counters at the end")
+	flag.Parse()
+
+	stackF, ok := mechFactory(*stack, *cons)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown stack mechanism %q\n", *stack)
+		os.Exit(2)
+	}
+	heapF, ok := mechFactory(*heap, *cons)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown heap mechanism %q\n", *heap)
+		os.Exit(2)
+	}
+
+	k := kernel.New(kernel.Config{
+		Machine:                 machine.Config{Cores: *cores},
+		Quantum:                 100 * sim.Microsecond,
+		ParallelStackCheckpoint: *parallel,
+	})
+	progs := make([]workload.Program, *threads)
+	for i := range progs {
+		progs[i] = workloadByName(*wl, *wlArg)
+		if progs[i] == nil {
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+			os.Exit(2)
+		}
+	}
+	p := k.Spawn(kernel.ProcessConfig{
+		Name:               *wl,
+		StackMech:          stackF,
+		HeapMech:           heapF,
+		CheckpointInterval: sim.Time(*intervalUS) * sim.Microsecond,
+		PremapHeap:         true,
+		Seed:               *seed,
+	}, progs...)
+
+	k.RunFor(sim.Time(*durationUS) * sim.Microsecond)
+	p.Shutdown()
+
+	fmt.Printf("workload           %s x%d (stack=%s heap=%s)\n", *wl, *threads, *stack, *heap)
+	fmt.Printf("simulated          %d µs (%d cycles, %d events)\n",
+		*durationUS, k.Eng.Now(), k.Eng.Fired())
+	var ops, cycles uint64
+	for _, t := range p.Threads {
+		ops += t.UserOps
+		cycles += t.UserCycles
+	}
+	fmt.Printf("user ops           %d (IPC %.4f)\n", ops, float64(ops)/float64(cycles+1))
+	fmt.Printf("checkpoints        %d\n", p.CheckpointCount)
+	fmt.Printf("persisted bytes    %d (stack %d)\n", p.CheckpointBytes, p.StackCkptBytes)
+	if p.CheckpointCount > 0 {
+		fmt.Printf("mean ckpt cycles   %d\n", uint64(p.CheckpointTime)/p.CheckpointCount)
+	}
+	if rep := kernel.Fsck(k.Mach.Storage); !rep.OK() {
+		fmt.Println("FSCK PROBLEMS:", rep.Problems)
+		os.Exit(1)
+	}
+	fmt.Println("fsck               clean")
+
+	if *dumpStats {
+		fmt.Println()
+		k.DumpStats(os.Stdout)
+	}
+}

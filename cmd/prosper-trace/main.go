@@ -1,0 +1,147 @@
+// Command prosper-trace captures memory-access traces of the built-in
+// workloads (the role Intel Pin / SniP play for the paper) and runs the
+// motivation analyses on them: operation breakdown, beyond-SP writes, and
+// per-granularity checkpoint sizes.
+//
+// Usage:
+//
+//	prosper-trace -workload gapbs_pr -ops 200000 [-out trace.bin]
+//	prosper-trace -in trace.bin -analyze
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prosper/internal/kernel"
+	"prosper/internal/machine"
+	"prosper/internal/sim"
+	"prosper/internal/stats"
+	"prosper/internal/trace"
+	"prosper/internal/workload"
+)
+
+// captureOnMachine runs the workload on the full simulated machine and
+// records its traffic through the core's tracer tap (the SniP role, with
+// real timing instead of nominal op costs).
+func captureOnMachine(prog workload.Program, name string, ops int, seed uint64) *trace.Trace {
+	k := kernel.New(kernel.Config{Machine: machine.Config{Cores: 1}})
+	p := k.Spawn(kernel.ProcessConfig{Name: name, Seed: seed, PremapHeap: true}, prog)
+	th := p.Threads[0]
+	rec := trace.NewRecorder(k.Eng, th.StackSeg.Lo, th.StackSeg.Hi, ops)
+	rec.SP = th.SP
+	rec.Attach(k.Mach.Cores[0])
+	for !rec.Full() && !p.Done() && k.Eng.Now() < 100*sim.Millisecond {
+		k.RunFor(100 * sim.Microsecond)
+	}
+	p.Shutdown()
+	return rec.Trace
+}
+
+func workloadByName(name string) workload.Program {
+	switch name {
+	case "gapbs_pr":
+		return workload.NewApp(workload.GapbsPR())
+	case "g500_sssp":
+		return workload.NewApp(workload.G500SSSP())
+	case "ycsb_mem":
+		return workload.NewApp(workload.YcsbMem())
+	case "mcf":
+		return workload.NewApp(workload.SpecMCF())
+	case "omnetpp":
+		return workload.NewApp(workload.SpecOmnetpp())
+	case "perlbench":
+		return workload.NewApp(workload.SpecPerlbench())
+	case "leela":
+		return workload.NewApp(workload.SpecLeela())
+	case "random":
+		return workload.NewRandom(workload.MicroParams{})
+	case "stream":
+		return workload.NewStream(workload.MicroParams{})
+	case "sparse":
+		return workload.NewSparse(workload.MicroParams{})
+	case "quicksort":
+		return workload.NewQuicksort(4096)
+	case "recursive":
+		return workload.NewRecursive(8)
+	case "normal":
+		return workload.NewNormal()
+	case "poisson":
+		return workload.NewPoisson()
+	default:
+		return nil
+	}
+}
+
+func main() {
+	name := flag.String("workload", "gapbs_pr", "workload to trace")
+	ops := flag.Int("ops", 200_000, "memory operations to capture")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	out := flag.String("out", "", "write binary trace to file")
+	in := flag.String("in", "", "read binary trace from file instead of capturing")
+	intervals := flag.Int("intervals", 20, "consistency intervals for the analyses")
+	onMachine := flag.Bool("machine", false, "capture from the cycle-level machine (real timing) instead of the nominal-cost capturer")
+	flag.Parse()
+
+	var tr *trace.Trace
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tr, err = trace.Read(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		prog := workloadByName(*name)
+		if prog == nil {
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *name)
+			os.Exit(2)
+		}
+		if *onMachine {
+			tr = captureOnMachine(prog, *name, *ops, *seed)
+		} else {
+			cfg := trace.DefaultCaptureConfig()
+			cfg.MaxOps = *ops
+			cfg.Ctx.Seed = *seed
+			tr = trace.Capture(prog, cfg)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tr.Write(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %d records to %s\n", len(tr.Records), *out)
+	}
+
+	interval := tr.Duration() / sim.Time(*intervals)
+	if interval == 0 {
+		interval = 1
+	}
+	b := trace.Breakdown(tr)
+	tb := stats.NewTable("Trace analysis", "metric", "value")
+	tb.AddRow("records", len(tr.Records))
+	tb.AddRow("virtual duration (cycles)", tr.Duration())
+	tb.AddRow("stack fraction", b.StackFraction())
+	tb.AddRow("stack writes", b.StackWrites)
+	tb.AddRow("beyond-final-SP write fraction", trace.BeyondSPFraction(tr, interval))
+	page := trace.CheckpointSizes(tr, interval, 4096)
+	fine := trace.CheckpointSizes(tr, interval, 8)
+	tb.AddRow("ckpt bytes/interval @page", page.MeanBytes())
+	tb.AddRow("ckpt bytes/interval @8B", fine.MeanBytes())
+	tb.AddRow("page/8B reduction", trace.ReductionFactor(tr, interval, 8))
+	fmt.Println(tb.String())
+}

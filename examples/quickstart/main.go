@@ -1,0 +1,49 @@
+// Quickstart: the smallest end-to-end use of the prosper library — build
+// a persistent machine, run a workload with Prosper stack checkpoints,
+// crash it, and recover.
+package main
+
+import (
+	"fmt"
+
+	"prosper"
+)
+
+func main() {
+	// A persistent system with Prosper protecting thread stacks,
+	// checkpointing every 200 simulated microseconds.
+	sys := prosper.NewSystem(prosper.SystemConfig{Cores: 1})
+
+	counter := prosper.NewCounterWorkload(80_000)
+	proc := sys.Launch(prosper.ProcessSpec{
+		Name:               "quickstart",
+		Stack:              prosper.MechProsper,
+		CheckpointInterval: 200 * prosper.Microsecond,
+	}, counter)
+
+	// Run a while, then simulate a power failure.
+	sys.Run(1200 * prosper.Microsecond)
+	fmt.Printf("progress before crash: %d iterations, %d checkpoints, %d bytes persisted\n",
+		counter.Progress(), proc.Checkpoints(), proc.CheckpointedBytes())
+
+	sys.Crash()
+
+	// Reboot on the surviving NVM and recover the process.
+	sys2 := sys.Reboot()
+	counter2 := prosper.NewCounterWorkload(80_000)
+	proc2, err := sys2.Recover(prosper.ProcessSpec{
+		Name:               "quickstart",
+		Stack:              prosper.MechProsper,
+		CheckpointInterval: 200 * prosper.Microsecond,
+	}, counter2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("recovered at iteration %d; resuming...\n", counter2.Progress())
+
+	if !sys2.RunUntilDone(10 * prosper.Second) {
+		panic("recovered process did not finish")
+	}
+	fmt.Printf("done: %d iterations completed across one power failure\n", counter2.Progress())
+	_ = proc2
+}

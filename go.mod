@@ -1,0 +1,3 @@
+module prosper
+
+go 1.22

@@ -1,0 +1,283 @@
+// Package cache implements the three-level write-back cache hierarchy of
+// the simulated machine (Table II of the paper): per-core L1D and L2,
+// a shared L3, LRU replacement, write-allocate, and a bounded number of
+// MSHRs per level with miss coalescing.
+//
+// Caches are timing-only: they track tags and dirtiness, while data lives
+// in mem.Storage. Every level implements Port, so levels chain naturally
+// and the memory controller terminates the chain.
+package cache
+
+import (
+	"prosper/internal/mem"
+	"prosper/internal/sim"
+	"prosper/internal/stats"
+)
+
+// Port is anything that can service a line-granularity memory access.
+type Port interface {
+	Access(write bool, addr uint64, done func())
+}
+
+// PortFunc adapts a function to the Port interface.
+type PortFunc func(write bool, addr uint64, done func())
+
+// Access calls f.
+func (f PortFunc) Access(write bool, addr uint64, done func()) { f(write, addr, done) }
+
+// Config describes one cache level.
+type Config struct {
+	Name    string
+	Size    int      // capacity in bytes
+	Ways    int      // associativity
+	Latency sim.Time // hit latency in cycles
+	MSHRs   int      // outstanding misses
+}
+
+// L1DConfig returns the paper's L1 data cache: 32 KiB, 8-way, 3 cycles,
+// 16 MSHRs.
+func L1DConfig() Config { return Config{Name: "l1d", Size: 32 << 10, Ways: 8, Latency: 3, MSHRs: 16} }
+
+// L2Config returns the paper's L2: 512 KiB, 16-way, 12 cycles, 32 MSHRs.
+func L2Config() Config { return Config{Name: "l2", Size: 512 << 10, Ways: 16, Latency: 12, MSHRs: 32} }
+
+// L3Config returns the paper's shared L3 scaled by core count:
+// 2 MiB/core, 16-way, 20 cycles, 32 MSHRs.
+func L3Config(cores int) Config {
+	if cores < 1 {
+		cores = 1
+	}
+	return Config{Name: "l3", Size: cores * (2 << 20), Ways: 16, Latency: 20, MSHRs: 32}
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+type mshr struct {
+	waiters []waiter
+}
+
+type waiter struct {
+	write bool
+	done  func()
+}
+
+type deferredAccess struct {
+	write bool
+	addr  uint64
+	done  func()
+}
+
+// Cache is one set-associative write-back, write-allocate level.
+type Cache struct {
+	eng  *sim.Engine
+	cfg  Config
+	next Port
+
+	sets     [][]line
+	setMask  uint64
+	lruClock uint64
+
+	mshrs   map[uint64]*mshr
+	blocked []deferredAccess // accesses stalled on MSHR exhaustion
+
+	Counters *stats.Counters
+}
+
+// New builds a cache level in front of next.
+func New(eng *sim.Engine, cfg Config, next Port) *Cache {
+	numLines := cfg.Size / mem.LineSize
+	numSets := numLines / cfg.Ways
+	if numSets == 0 || numSets&(numSets-1) != 0 {
+		panic("cache: set count must be a positive power of two")
+	}
+	sets := make([][]line, numSets)
+	backing := make([]line, numLines)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return &Cache{
+		eng:      eng,
+		cfg:      cfg,
+		next:     next,
+		sets:     sets,
+		setMask:  uint64(numSets - 1),
+		mshrs:    make(map[uint64]*mshr),
+		Counters: stats.NewCounters(),
+	}
+}
+
+// Name returns the level's configured name.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+func (c *Cache) setFor(lineAddr uint64) []line {
+	return c.sets[(lineAddr>>mem.LineShift)&c.setMask]
+}
+
+func (c *Cache) lookup(lineAddr uint64) *line {
+	set := c.setFor(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Access services one access to the line containing addr. The access is
+// aligned internally; callers may pass arbitrary byte addresses.
+func (c *Cache) Access(write bool, addr uint64, done func()) {
+	if write {
+		c.Counters.Inc(c.cfg.Name + ".write_accesses")
+	} else {
+		c.Counters.Inc(c.cfg.Name + ".read_accesses")
+	}
+	c.access(write, mem.LineOf(addr), done)
+}
+
+// access is the internal (non-counting-of-entry) path, reused verbatim by
+// MSHR-stall retries so that one logical access is accounted exactly once
+// as a hit or a miss.
+func (c *Cache) access(write bool, lineAddr uint64, done func()) {
+	if ln := c.lookup(lineAddr); ln != nil {
+		c.Counters.Inc(c.cfg.Name + ".hits")
+		c.lruClock++
+		ln.lru = c.lruClock
+		if write {
+			ln.dirty = true
+		}
+		if done != nil {
+			c.eng.Schedule(c.cfg.Latency, done)
+		}
+		return
+	}
+	c.miss(write, lineAddr, done)
+}
+
+func (c *Cache) miss(write bool, lineAddr uint64, done func()) {
+	if m, ok := c.mshrs[lineAddr]; ok {
+		// Coalesce with the in-flight fetch of the same line.
+		c.Counters.Inc(c.cfg.Name + ".misses")
+		c.Counters.Inc(c.cfg.Name + ".mshr_coalesced")
+		m.waiters = append(m.waiters, waiter{write: write, done: done})
+		return
+	}
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		// Not yet a hit or a miss: the retry will classify it.
+		c.Counters.Inc(c.cfg.Name + ".mshr_stalls")
+		c.blocked = append(c.blocked, deferredAccess{write: write, addr: lineAddr, done: done})
+		return
+	}
+	c.Counters.Inc(c.cfg.Name + ".misses")
+	m := &mshr{waiters: []waiter{{write: write, done: done}}}
+	c.mshrs[lineAddr] = m
+	// Fetch the line from the level below after paying the lookup latency.
+	c.eng.Schedule(c.cfg.Latency, func() {
+		c.next.Access(false, lineAddr, func() { c.fill(lineAddr) })
+	})
+}
+
+func (c *Cache) fill(lineAddr uint64) {
+	m := c.mshrs[lineAddr]
+	delete(c.mshrs, lineAddr)
+
+	victim := c.victimFor(lineAddr)
+	if victim.valid && victim.dirty {
+		c.Counters.Inc(c.cfg.Name + ".writebacks")
+		// Posted writeback: lower level absorbs it asynchronously.
+		c.next.Access(true, victim.tag, nil)
+	}
+	c.lruClock++
+	*victim = line{tag: lineAddr, valid: true, lru: c.lruClock}
+	for _, w := range m.waiters {
+		if w.write {
+			victim.dirty = true
+		}
+		if w.done != nil {
+			w.done()
+		}
+	}
+	c.retryBlocked()
+}
+
+func (c *Cache) victimFor(lineAddr uint64) *line {
+	set := c.setFor(lineAddr)
+	victim := &set[0]
+	for i := range set {
+		if !set[i].valid {
+			return &set[i]
+		}
+		if set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	return victim
+}
+
+func (c *Cache) retryBlocked() {
+	if len(c.blocked) == 0 {
+		return
+	}
+	pend := c.blocked
+	c.blocked = nil
+	for _, p := range pend {
+		c.access(p.write, p.addr, p.done)
+	}
+}
+
+// Contains reports whether the line holding addr is resident (test hook).
+func (c *Cache) Contains(addr uint64) bool { return c.lookup(mem.LineOf(addr)) != nil }
+
+// Flush writes back every dirty line and invalidates the cache, e.g. to
+// model cache loss at power failure or explicit clwb sweeps.
+func (c *Cache) Flush() {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			ln := &c.sets[si][wi]
+			if ln.valid && ln.dirty {
+				c.Counters.Inc(c.cfg.Name + ".writebacks")
+				c.next.Access(true, ln.tag, nil)
+			}
+			ln.valid = false
+			ln.dirty = false
+		}
+	}
+}
+
+// Hierarchy bundles the per-core L1/L2 front ends with a shared L3 over
+// the memory controller.
+type Hierarchy struct {
+	L1D []*Cache // one per core
+	L2  []*Cache // one per core
+	L3  *Cache
+}
+
+// NewHierarchy builds the Table II cache stack for the given core count.
+func NewHierarchy(eng *sim.Engine, cores int, memory Port) *Hierarchy {
+	h := &Hierarchy{L3: New(eng, L3Config(cores), memory)}
+	for i := 0; i < cores; i++ {
+		l2 := New(eng, L2Config(), h.L3)
+		l1 := New(eng, L1DConfig(), l2)
+		h.L2 = append(h.L2, l2)
+		h.L1D = append(h.L1D, l1)
+	}
+	return h
+}
+
+// CorePort returns the L1D port for the given core.
+func (h *Hierarchy) CorePort(core int) *Cache { return h.L1D[core] }
+
+// FlushAll flushes every level, L1 outward, modelling a full cache sweep.
+func (h *Hierarchy) FlushAll() {
+	for _, c := range h.L1D {
+		c.Flush()
+	}
+	for _, c := range h.L2 {
+		c.Flush()
+	}
+	h.L3.Flush()
+}

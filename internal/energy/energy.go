@@ -1,0 +1,55 @@
+// Package energy models the Prosper lookup table's energy and area using
+// the CACTI-P (7 nm FinFET) figures the paper publishes for a 16-entry
+// table with two read ports and one write port, and computes per-run
+// energy from tracker event counts.
+package energy
+
+// The paper's published constants (Section V, "Energy and area overhead").
+const (
+	// ReadEnergyPerAccessNJ is the dynamic read energy per lookup-table
+	// access in nanojoules.
+	ReadEnergyPerAccessNJ = 0.000773194
+	// WriteEnergyPerAccessNJ is the dynamic write energy per access.
+	WriteEnergyPerAccessNJ = 0.000128375
+	// LeakagePowerMW is the leakage power of one bank in milliwatts.
+	LeakagePowerMW = 0.01067596
+	// AreaMM2 is the cache area of the 16-entry lookup table.
+	AreaMM2 = 0.000704786
+)
+
+// Activity summarizes the tracker events that exercise the lookup table
+// during a run.
+type Activity struct {
+	SOIs         uint64 // each SOI searches the table (read)
+	TableUpdates uint64 // bit-set or entry allocation (write)
+	Writebacks   uint64 // HWM writebacks + evictions + flushes (read)
+	Cycles       uint64 // run length for leakage
+	FreqHz       float64
+}
+
+// Report is the computed energy breakdown.
+type Report struct {
+	DynamicReadNJ  float64
+	DynamicWriteNJ float64
+	LeakageNJ      float64
+	TotalNJ        float64
+	AreaMM2        float64
+}
+
+// Compute derives a Report from tracker activity. Every SOI performs one
+// parallel search (read); every search that records a bit performs one
+// write; every writeback reads the victim entry.
+func Compute(a Activity) Report {
+	if a.FreqHz == 0 {
+		a.FreqHz = 3e9
+	}
+	r := Report{AreaMM2: AreaMM2}
+	reads := a.SOIs + a.Writebacks
+	r.DynamicReadNJ = float64(reads) * ReadEnergyPerAccessNJ
+	r.DynamicWriteNJ = float64(a.TableUpdates) * WriteEnergyPerAccessNJ
+	seconds := float64(a.Cycles) / a.FreqHz
+	// mW * s = mJ; convert to nJ.
+	r.LeakageNJ = LeakagePowerMW * seconds * 1e6
+	r.TotalNJ = r.DynamicReadNJ + r.DynamicWriteNJ + r.LeakageNJ
+	return r
+}

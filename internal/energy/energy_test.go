@@ -1,0 +1,49 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComputeZero(t *testing.T) {
+	r := Compute(Activity{})
+	if r.TotalNJ != 0 {
+		t.Fatalf("zero activity energy = %f", r.TotalNJ)
+	}
+	if r.AreaMM2 != AreaMM2 {
+		t.Fatal("area not reported")
+	}
+}
+
+func TestComputeDynamic(t *testing.T) {
+	r := Compute(Activity{SOIs: 1000, TableUpdates: 1000, Writebacks: 100})
+	wantRead := 1100 * ReadEnergyPerAccessNJ
+	wantWrite := 1000 * WriteEnergyPerAccessNJ
+	if math.Abs(r.DynamicReadNJ-wantRead) > 1e-12 {
+		t.Fatalf("read energy = %g want %g", r.DynamicReadNJ, wantRead)
+	}
+	if math.Abs(r.DynamicWriteNJ-wantWrite) > 1e-12 {
+		t.Fatalf("write energy = %g want %g", r.DynamicWriteNJ, wantWrite)
+	}
+}
+
+func TestComputeLeakage(t *testing.T) {
+	// One second at 3 GHz: leakage = 0.01067596 mW * 1 s = 0.01067596 mJ
+	// = 1.067596e4 nJ.
+	r := Compute(Activity{Cycles: 3_000_000_000})
+	want := LeakagePowerMW * 1e6
+	if math.Abs(r.LeakageNJ-want) > 1e-6 {
+		t.Fatalf("leakage = %g want %g", r.LeakageNJ, want)
+	}
+	if r.TotalNJ != r.LeakageNJ {
+		t.Fatal("total != leakage for pure-leakage run")
+	}
+}
+
+func TestReadDominatesWritePerAccess(t *testing.T) {
+	// The published constants have read energy > write energy; the model
+	// must preserve that relation (it drives the HWM/LWM discussion).
+	if ReadEnergyPerAccessNJ <= WriteEnergyPerAccessNJ {
+		t.Fatal("constants transcribed wrong")
+	}
+}

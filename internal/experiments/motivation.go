@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"prosper/internal/stats"
+	"prosper/internal/trace"
+	"prosper/internal/workload"
+)
+
+// captureApp traces one application model for the scale's op budget.
+func (s Scale) captureApp(params workload.AppParams) *trace.Trace {
+	cfg := trace.DefaultCaptureConfig()
+	cfg.MaxOps = s.TraceOps
+	cfg.Ctx.Seed = s.Seed
+	return trace.Capture(workload.NewApp(params), cfg)
+}
+
+// Fig1Row is one benchmark's memory-operation breakdown.
+type Fig1Row struct {
+	Benchmark   string
+	StackReads  float64 // fraction of all memory operations
+	StackWrites float64
+	HeapReads   float64
+	HeapWrites  float64
+}
+
+// Fig1 reproduces Figure 1: the fraction of memory operations performed
+// on the stack region for the three application benchmarks.
+func Fig1(s Scale) ([]Fig1Row, *stats.Table) {
+	s = s.withDefaults()
+	tb := stats.NewTable("Figure 1: fraction of memory operations to stack vs heap",
+		"benchmark", "stack_reads", "stack_writes", "heap_reads", "heap_writes", "stack_total")
+	var rows []Fig1Row
+	for _, params := range apps() {
+		tr := s.captureApp(params)
+		b := trace.Breakdown(tr)
+		total := float64(b.Total())
+		row := Fig1Row{
+			Benchmark:   params.Name,
+			StackReads:  float64(b.StackReads) / total,
+			StackWrites: float64(b.StackWrites) / total,
+			HeapReads:   float64(b.HeapReads) / total,
+			HeapWrites:  float64(b.HeapWrites) / total,
+		}
+		rows = append(rows, row)
+		tb.AddRow(params.Name, row.StackReads, row.StackWrites, row.HeapReads,
+			row.HeapWrites, row.StackReads+row.StackWrites)
+	}
+	return rows, tb
+}
+
+// Fig2Row is one consistency interval of the Ycsb_mem beyond-SP study.
+type Fig2Row struct {
+	Interval      int
+	StackWrites   uint64
+	BeyondFinalSP uint64
+}
+
+// Fig2Result aggregates Figure 2.
+type Fig2Result struct {
+	Rows            []Fig2Row
+	AvgBeyondSPFrac float64
+}
+
+// Fig2 reproduces Figure 2: total stack writes vs writes beyond the
+// interval-final SP across consistency intervals for Ycsb_mem (paper:
+// >36% of stack writes are beyond the final SP on average).
+func Fig2(s Scale) (Fig2Result, *stats.Table) {
+	s = s.withDefaults()
+	tr := s.captureApp(workload.YcsbMem())
+	interval := tr.Duration() / 100 // 100 intervals like the paper
+	if interval == 0 {
+		interval = 1
+	}
+	ivs := trace.Intervals(tr, interval)
+	tb := stats.NewTable("Figure 2: Ycsb_mem stack writes vs writes beyond final SP per interval",
+		"interval", "stack_writes", "beyond_final_sp")
+	var res Fig2Result
+	var writes, beyond uint64
+	for i, iv := range ivs {
+		res.Rows = append(res.Rows, Fig2Row{Interval: i, StackWrites: iv.StackWrites, BeyondFinalSP: iv.BeyondFinalSP})
+		writes += iv.StackWrites
+		beyond += iv.BeyondFinalSP
+		// Print every 10th interval to keep the table readable.
+		if i%10 == 0 {
+			tb.AddRow(i, iv.StackWrites, iv.BeyondFinalSP)
+		}
+	}
+	if writes > 0 {
+		res.AvgBeyondSPFrac = float64(beyond) / float64(writes)
+	}
+	tb.AddRow("avg_beyond_frac", res.AvgBeyondSPFrac, "")
+	return res, tb
+}
+
+// Fig3Row is one (benchmark, mechanism, awareness) replay result.
+type Fig3Row struct {
+	Benchmark  string
+	Mechanism  string
+	SPAware    bool
+	Normalized float64 // execution time normalized to no persistence
+}
+
+// Fig3 reproduces Figure 3: flush/undo/redo persistence for the stack
+// with and without SP awareness, normalized to no persistence (stack in
+// DRAM). The paper's headline: ~30-33% average improvement from SP
+// awareness, but even SP-aware NVM-resident schemes are >35x slower than
+// no persistence.
+func Fig3(s Scale) ([]Fig3Row, *stats.Table) {
+	s = s.withDefaults()
+	costs := trace.DefaultReplayCosts()
+	tb := stats.NewTable("Figure 3: flush/undo/redo ± SP awareness (exec time normalized to no persistence)",
+		"benchmark", "mechanism", "no_sp_aware", "sp_aware", "improvement")
+	var rows []Fig3Row
+	for _, params := range apps() {
+		tr := s.captureApp(params)
+		interval := tr.Duration() / 20
+		for _, mech := range []string{trace.MechFlush, trace.MechUndo, trace.MechRedo} {
+			unaware := trace.ReplayNormalized(tr, mech, false, interval, costs)
+			aware := trace.ReplayNormalized(tr, mech, true, interval, costs)
+			rows = append(rows,
+				Fig3Row{params.Name, mech, false, unaware},
+				Fig3Row{params.Name, mech, true, aware})
+			improvement := 0.0
+			if unaware > 0 {
+				improvement = 1 - aware/unaware
+			}
+			tb.AddRow(params.Name, mech, unaware, aware, improvement)
+		}
+	}
+	return rows, tb
+}
+
+// Fig4Row is one benchmark's checkpoint copy-size comparison.
+type Fig4Row struct {
+	Benchmark      string
+	PageBytesMean  float64 // per-interval copy size at 4 KiB tracking
+	ByteBytesMean  float64 // per-interval copy size at 8 B tracking
+	ReductionRatio float64
+}
+
+// Fig4 reproduces Figure 4: per-interval checkpoint copy size with page
+// (4 KiB) vs byte-level (8 B) dirty tracking for the stack (paper:
+// ~300x / ~56x / ~33x reduction for Gapbs_pr / G500_sssp / Ycsb_mem).
+func Fig4(s Scale) ([]Fig4Row, *stats.Table) {
+	s = s.withDefaults()
+	tb := stats.NewTable("Figure 4: stack checkpoint copy size, 4KiB-page vs 8-byte dirty tracking",
+		"benchmark", "page_mean_bytes", "8B_mean_bytes", "reduction")
+	var rows []Fig4Row
+	for _, params := range apps() {
+		tr := s.captureApp(params)
+		interval := tr.Duration() / 20
+		page := trace.CheckpointSizes(tr, interval, 4096)
+		fine := trace.CheckpointSizes(tr, interval, 8)
+		row := Fig4Row{
+			Benchmark:     params.Name,
+			PageBytesMean: page.MeanBytes(),
+			ByteBytesMean: fine.MeanBytes(),
+		}
+		if fine.TotalBytes > 0 {
+			row.ReductionRatio = float64(page.TotalBytes) / float64(fine.TotalBytes)
+		}
+		rows = append(rows, row)
+		tb.AddRow(params.Name, row.PageBytesMean, row.ByteBytesMean, row.ReductionRatio)
+	}
+	return rows, tb
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"prosper/internal/persist"
+	"prosper/internal/stats"
+	"prosper/internal/workload"
+)
+
+// TrackingCostRow compares the standard dirty-tracking techniques of
+// Section II-B on one workload.
+type TrackingCostRow struct {
+	Benchmark  string
+	Technique  string
+	Normalized float64 // execution time normalized to no tracking
+	Faults     uint64  // write-permission faults taken (WriteProtect only)
+}
+
+// TrackingCost reproduces the Section II-B comparison LDT [45] makes and
+// the paper summarizes: write-protection-based tracking forces a page
+// fault on the first store to every page each interval, the Dirtybit
+// approach only costs a page-walker dirty-bit update, and Prosper's
+// tracker adds sub-page precision at similar cost. Expected shape:
+// writeprotect > dirtybit >= prosper in overhead, with writeprotect's
+// gap proportional to its fault count.
+func TrackingCost(s Scale) ([]TrackingCostRow, *stats.Table) {
+	s = s.withDefaults()
+	tb := stats.NewTable("Section II-B: dirty-tracking technique cost (normalized execution time)",
+		"benchmark", "technique", "normalized_time", "write_faults")
+	benches := []struct {
+		name string
+		prog func() workload.Program
+	}{
+		{"sparse", func() workload.Program {
+			return workload.NewSparse(workload.MicroParams{ArrayBytes: 64 << 10})
+		}},
+		{"gapbs_pr", func() workload.Program { return workload.NewApp(workload.GapbsPR()) }},
+	}
+	techniques := []struct {
+		name    string
+		factory persist.Factory
+	}{
+		{"writeprotect", persist.NewWriteProtect(persist.DirtybitConfig{})},
+		{"dirtybit", persist.NewDirtybit(persist.DirtybitConfig{})},
+		{"prosper", persist.NewProsper(persist.ProsperConfig{})},
+	}
+	var rows []TrackingCostRow
+	for _, b := range benches {
+		b := b
+		base := s.run(runConfig{name: b.name, prog: b.prog})
+		for _, tech := range techniques {
+			r := s.run(runConfig{
+				name: b.name, prog: b.prog,
+				stackMech: tech.factory, ckpt: true,
+			})
+			norm := 0.0
+			if r.UserOps > 0 {
+				norm = float64(base.UserOps) / float64(r.UserOps)
+			}
+			rows = append(rows, TrackingCostRow{b.name, tech.name, norm, r.WriteFaults})
+			tb.AddRow(b.name, tech.name, norm, r.WriteFaults)
+		}
+	}
+	return rows, tb
+}

@@ -1,0 +1,183 @@
+package kernel
+
+import (
+	"prosper/internal/mem"
+	"prosper/internal/persist"
+	"prosper/internal/workload"
+)
+
+// checkpointProcess runs one incremental process checkpoint: pause every
+// thread at an op boundary (mechanism state saved and quiescent), persist
+// the register state, the per-thread stacks, and the heap, commit the
+// checkpoint sequence number, and resume. done (optional) receives the
+// completion callback for synchronous callers.
+func (k *Kernel) checkpointProcess(p *Process, done func()) {
+	if p.checkpointing || p.Done() {
+		if done != nil {
+			k.Eng.Schedule(0, done)
+		}
+		return
+	}
+	p.checkpointing = true
+	start := k.Eng.Now()
+
+	// Phase 1: quiesce all threads.
+	remaining := len(p.Threads)
+	for _, t := range p.Threads {
+		k.pauseThread(t, func() {
+			remaining--
+			if remaining == 0 {
+				k.checkpointPaused(p, start, done)
+			}
+		})
+	}
+}
+
+// checkpointPaused runs once every thread is parked.
+func (k *Kernel) checkpointPaused(p *Process, start int64, done func()) {
+	// Phase 2: register + program state, then segments (thread stacks in
+	// TID order — sequential by default, concurrent when configured —
+	// then the heap).
+	idx := 0
+	var ckptBytes uint64
+	var stackBytes uint64
+	var nextStack func()
+	finish := func() {
+		// Phase 4: commit the checkpoint by bumping the sequence number
+		// in the header (a single NVM line write is the commit point).
+		p.ckptSeq++
+		seqBuf := make([]byte, 8)
+		putU64(seqBuf, 0, p.ckptSeq)
+		k.Mach.WritePhys(p.headerAddr, seqBuf, func() {
+			elapsed := k.Eng.Now() - start
+			p.CheckpointCount++
+			p.CheckpointBytes += ckptBytes
+			p.CheckpointTime += elapsed
+			p.Counters.Add("proc.ckpt_bytes", ckptBytes)
+			p.Counters.Add("proc.ckpt_cycles", uint64(elapsed))
+			p.checkpointing = false
+			// Phase 5: new interval, resume everything. Rotate the resume
+			// order across checkpoints so no thread monopolizes its core
+			// when the checkpoint interval is shorter than the quantum.
+			n := len(p.Threads)
+			first := int(p.ckptSeq) % n
+			for i := 0; i < n; i++ {
+				t := p.Threads[(first+i)%n]
+				t.mech.BeginInterval()
+				k.resumeThread(t)
+			}
+			if p.heapMech != nil {
+				p.heapMech.BeginInterval()
+			}
+			if done != nil {
+				done()
+			}
+		})
+	}
+	heapPhase := func() {
+		if p.heapMech == nil {
+			finish()
+			return
+		}
+		hs := k.Eng.Now()
+		p.heapMech.Checkpoint(func(r persist.Result) {
+			ckptBytes += r.BytesCopied
+			p.Counters.Add("proc.heap_ckpt_bytes", r.BytesCopied)
+			p.Counters.Add("proc.heap_ckpt_cycles", uint64(k.Eng.Now()-hs))
+			finish()
+		})
+	}
+	// persistThread checkpoints one thread's registers and stack; the two
+	// overlap (the paper overlaps OS prep work with the hardware's
+	// flush/quiesce step). next fires when both complete.
+	persistThread := func(t *Thread, next func()) {
+		ss := k.Eng.Now()
+		pendingParts := 2
+		partDone := func() {
+			pendingParts--
+			if pendingParts == 0 {
+				next()
+			}
+		}
+		k.saveRegisters(t, partDone)
+		t.mech.Checkpoint(func(r persist.Result) {
+			ckptBytes += r.BytesCopied
+			stackBytes += r.BytesCopied
+			p.StackCkptTime += k.Eng.Now() - ss
+			p.Counters.Add("proc.stack_ckpt_bytes", r.BytesCopied)
+			p.Counters.Add("proc.stack_ckpt_cycles", uint64(k.Eng.Now()-ss))
+			p.Counters.Add("proc.stack_ckpt_meta", r.MetaScanned)
+			partDone()
+		})
+	}
+
+	if k.Cfg.ParallelStackCheckpoint {
+		// All live threads' stacks at once; their copies overlap in the
+		// memory system.
+		live := 0
+		for _, t := range p.Threads {
+			if t.state != threadDone {
+				live++
+			}
+		}
+		if live == 0 {
+			heapPhase()
+			return
+		}
+		remaining := live
+		for _, t := range p.Threads {
+			if t.state == threadDone {
+				continue
+			}
+			persistThread(t, func() {
+				remaining--
+				if remaining == 0 {
+					p.StackCkptBytes += stackBytes
+					heapPhase()
+				}
+			})
+		}
+		return
+	}
+
+	nextStack = func() {
+		if idx >= len(p.Threads) {
+			p.StackCkptBytes += stackBytes
+			heapPhase()
+			return
+		}
+		t := p.Threads[idx]
+		idx++
+		if t.state == threadDone {
+			nextStack()
+			return
+		}
+		persistThread(t, nextStack)
+	}
+	nextStack()
+}
+
+// saveRegisters persists the thread's architectural state and, for
+// checkpointable programs, the execution position snapshot.
+//
+// Register-area layout: sp(8) storeSeq(8) snapLen(8) snapshot bytes.
+func (k *Kernel) saveRegisters(t *Thread, done func()) {
+	var snap []byte
+	if c, ok := t.Prog.(workload.Checkpointable); ok {
+		snap = c.Snapshot()
+	}
+	buf := make([]byte, 24+len(snap))
+	putU64(buf, 0, t.sp)
+	putU64(buf, 8, t.storeSeq)
+	putU64(buf, 16, uint64(len(snap)))
+	copy(buf[24:], snap)
+	if len(buf) > mem.PageSize {
+		panic("kernel: register snapshot exceeds a page")
+	}
+	k.Mach.WritePhys(t.regArea, buf, done)
+}
+
+// Checkpoint triggers one synchronous checkpoint of the process; done
+// fires when it commits (useful for examples and tests in addition to the
+// periodic ticker).
+func (p *Process) Checkpoint(done func()) { p.kern.checkpointProcess(p, done) }

@@ -1,0 +1,110 @@
+package kernel
+
+import (
+	"testing"
+
+	"prosper/internal/machine"
+	"prosper/internal/mem"
+	"prosper/internal/persist"
+	"prosper/internal/sim"
+	"prosper/internal/workload"
+)
+
+// NVM-resident mechanisms (SSP, Romulus) place the stack's working pages
+// in NVM, so the bytes themselves survive a power failure in place — the
+// property that lets those schemes skip copy-back recovery entirely.
+func TestNVMResidentStackSurvivesCrash(t *testing.T) {
+	for _, mechName := range []string{"ssp", "romulus"} {
+		mechName := mechName
+		t.Run(mechName, func(t *testing.T) {
+			var factory persist.Factory
+			if mechName == "ssp" {
+				factory = persist.NewSSP(persist.SSPConfig{ConsolidationInterval: 100 * sim.Microsecond})
+			} else {
+				factory = persist.NewRomulus()
+			}
+			k := New(Config{Machine: machine.Config{Cores: 1}})
+			p := k.Spawn(ProcessConfig{
+				Name:      "nvmres-" + mechName,
+				StackMech: factory,
+				Seed:      6,
+			}, workload.NewRandom(workload.MicroParams{ArrayBytes: 8 << 10, WritesPerRun: 64}))
+			k.RunFor(200 * sim.Microsecond)
+
+			th := p.Threads[0]
+			// Every mapped stack page must be in NVM.
+			var stackPages []uint64
+			for va := th.StackSeg.Lo; va < th.StackSeg.Hi; va += mem.PageSize {
+				if paddr, _, ok := p.AS.PT.Translate(va); ok {
+					if !mem.IsNVM(paddr) {
+						t.Fatalf("stack page %#x in DRAM (%#x) under %s", va, paddr, mechName)
+					}
+					stackPages = append(stackPages, paddr)
+				}
+			}
+			if len(stackPages) == 0 {
+				t.Fatal("no stack pages mapped")
+			}
+			// Record contents, crash, verify in-place survival.
+			want := make([]byte, mem.PageSize)
+			k.Mach.Storage.Read(stackPages[0], want)
+			p.Shutdown()
+			k.Mach.Crash()
+			got := make([]byte, mem.PageSize)
+			k.Mach.Storage.Read(stackPages[0], got)
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("%s: NVM-resident stack byte %d lost at crash", mechName, i)
+				}
+			}
+		})
+	}
+}
+
+// Prosper/Dirtybit place the stack in DRAM: the working pages must be in
+// DRAM (that is their performance advantage) and must NOT survive the
+// crash in place — recovery must come from the NVM image instead.
+func TestDRAMResidentStackDropsAtCrash(t *testing.T) {
+	k := New(Config{Machine: machine.Config{Cores: 1}})
+	p := k.Spawn(ProcessConfig{
+		Name:      "dramres",
+		StackMech: persist.NewProsper(persist.ProsperConfig{}),
+		Seed:      6,
+	}, workload.NewRandom(workload.MicroParams{ArrayBytes: 8 << 10, WritesPerRun: 64}))
+	k.RunFor(200 * sim.Microsecond)
+	th := p.Threads[0]
+	// Find a stack page with non-zero (written) content; all mapped
+	// stack pages must be DRAM-resident.
+	var dirtyPage uint64
+	page := make([]byte, mem.PageSize)
+	for va := th.StackSeg.Lo; va < th.StackSeg.Hi; va += mem.PageSize {
+		paddr, _, ok := p.AS.PT.Translate(va)
+		if !ok {
+			continue
+		}
+		if !mem.IsDRAM(paddr) {
+			t.Fatalf("prosper stack page %#x not in DRAM", paddr)
+		}
+		if dirtyPage == 0 {
+			k.Mach.Storage.Read(paddr, page)
+			for _, b := range page {
+				if b != 0 {
+					dirtyPage = paddr
+					break
+				}
+			}
+		}
+	}
+	if dirtyPage == 0 {
+		t.Fatal("no written stack page found before crash")
+	}
+	p.Shutdown()
+	k.Mach.Crash()
+	after := make([]byte, mem.PageSize)
+	k.Mach.Storage.Read(dirtyPage, after)
+	for _, b := range after {
+		if b != 0 {
+			t.Fatal("DRAM stack bytes survived the crash")
+		}
+	}
+}

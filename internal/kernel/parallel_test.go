@@ -1,0 +1,118 @@
+package kernel
+
+import (
+	"testing"
+
+	"prosper/internal/machine"
+	"prosper/internal/persist"
+	"prosper/internal/sim"
+	"prosper/internal/workload"
+)
+
+// measureCheckpoint runs a 4-thread process, dirties all stacks, and
+// returns the duration of one full process checkpoint.
+func measureCheckpoint(t *testing.T, parallel bool) sim.Time {
+	t.Helper()
+	k := New(Config{
+		Machine:                 machine.Config{Cores: 4},
+		Quantum:                 200 * sim.Microsecond,
+		ParallelStackCheckpoint: parallel,
+	})
+	progs := make([]workload.Program, 4)
+	for i := range progs {
+		progs[i] = workload.NewStream(workload.MicroParams{ArrayBytes: 32 << 10})
+	}
+	p := k.Spawn(ProcessConfig{
+		Name:      "par",
+		StackMech: persist.NewProsper(persist.ProsperConfig{}),
+		Seed:      9,
+	}, progs...)
+	k.RunFor(150 * sim.Microsecond)
+	start := k.Eng.Now()
+	done := false
+	p.Checkpoint(func() { done = true })
+	k.Eng.RunWhile(func() bool { return !done })
+	elapsed := k.Eng.Now() - start
+	if p.CheckpointBytes == 0 {
+		t.Fatal("checkpoint copied nothing")
+	}
+	p.Shutdown()
+	return elapsed
+}
+
+func TestParallelStackCheckpointIsFaster(t *testing.T) {
+	serial := measureCheckpoint(t, false)
+	parallel := measureCheckpoint(t, true)
+	if parallel >= serial {
+		t.Fatalf("parallel checkpoint (%d cy) not faster than serial (%d cy)", parallel, serial)
+	}
+}
+
+func TestParallelStackCheckpointSameBytes(t *testing.T) {
+	// Both modes must persist identical data volumes for the same
+	// deterministic workload slice.
+	bytesFor := func(parallel bool) uint64 {
+		k := New(Config{
+			Machine:                 machine.Config{Cores: 4},
+			Quantum:                 200 * sim.Microsecond,
+			ParallelStackCheckpoint: parallel,
+		})
+		progs := make([]workload.Program, 4)
+		for i := range progs {
+			progs[i] = workload.NewRandom(workload.MicroParams{ArrayBytes: 8 << 10, WritesPerRun: 64})
+		}
+		p := k.Spawn(ProcessConfig{
+			Name:      "bytes",
+			StackMech: persist.NewProsper(persist.ProsperConfig{}),
+			Seed:      11,
+		}, progs...)
+		k.RunFor(100 * sim.Microsecond)
+		done := false
+		p.Checkpoint(func() { done = true })
+		k.Eng.RunWhile(func() bool { return !done })
+		defer p.Shutdown()
+		return p.CheckpointBytes
+	}
+	serialBytes := bytesFor(false)
+	parallelBytes := bytesFor(true)
+	// Timing differs slightly between modes, so thread progress (and
+	// therefore dirty footprints) can differ marginally — but only
+	// marginally, since the measured slice before the checkpoint is the
+	// same wall duration.
+	lo, hi := serialBytes*9/10, serialBytes*11/10
+	if parallelBytes < lo || parallelBytes > hi {
+		t.Fatalf("parallel bytes %d far from serial %d", parallelBytes, serialBytes)
+	}
+}
+
+func TestParallelCheckpointRecoverable(t *testing.T) {
+	cfg := ProcessConfig{
+		Name:               "par-rec",
+		StackMech:          persist.NewProsper(persist.ProsperConfig{}),
+		CheckpointInterval: 200 * sim.Microsecond,
+		Seed:               4,
+	}
+	k := New(Config{Machine: machine.Config{Cores: 2}, ParallelStackCheckpoint: true})
+	progs := []workload.Program{workload.NewCounter(10_000_000), workload.NewCounter(10_000_000)}
+	p := k.Spawn(cfg, progs...)
+	k.RunFor(900 * sim.Microsecond)
+	if p.CheckpointCount == 0 {
+		t.Fatal("no checkpoints")
+	}
+	k.Mach.Crash()
+	k2 := New(Config{Machine: machine.Config{Cores: 2, Storage: k.Mach.Storage}})
+	var rec *Process
+	err := k2.RecoverProcess(cfg, []workload.Program{
+		workload.NewCounter(10_000_000), workload.NewCounter(10_000_000),
+	}, func(pr *Process) { rec = pr })
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2.Eng.RunWhile(func() bool { return rec == nil })
+	for i, th := range rec.Threads {
+		if th.Prog.(*workload.CounterProgram).Progress() == 0 {
+			t.Fatalf("thread %d not restored", i)
+		}
+	}
+	rec.Shutdown()
+}

@@ -1,0 +1,357 @@
+package kernel
+
+import (
+	"prosper/internal/machine"
+	"prosper/internal/mem"
+	"prosper/internal/persist"
+	"prosper/internal/sim"
+	"prosper/internal/stats"
+	"prosper/internal/vm"
+	"prosper/internal/workload"
+)
+
+// Virtual address-space layout for every process.
+const (
+	heapBase     = uint64(0x1000_0000)
+	stackTopBase = uint64(0x7f00_0000_0000)
+	stackSpacing = uint64(64 << 20) // gap between thread stacks
+)
+
+// ProcessConfig describes a process to spawn.
+type ProcessConfig struct {
+	Name string
+
+	// StackMech builds the per-thread stack persistence mechanism
+	// (nil: no stack persistence).
+	StackMech persist.Factory
+	// HeapMech builds the process-wide heap persistence mechanism
+	// (nil: no heap persistence).
+	HeapMech persist.Factory
+
+	StackReserve uint64 // per-thread stack reserve (default 1 MiB)
+	HeapSize     uint64 // heap arena size (default 64 MiB)
+
+	// CheckpointInterval enables periodic process checkpoints (0: none).
+	CheckpointInterval sim.Time
+
+	// PremapHeap maps the whole heap arena at spawn instead of demand
+	// paging it, modelling the warmed-up steady state the paper measures
+	// (its benchmarks run for a minute before measurement starts).
+	PremapHeap bool
+
+	Seed uint64
+}
+
+func (c ProcessConfig) withDefaults() ProcessConfig {
+	if c.StackReserve == 0 {
+		c.StackReserve = 1 << 20
+	}
+	if c.HeapSize == 0 {
+		c.HeapSize = 64 << 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+type threadState int
+
+const (
+	threadReady threadState = iota
+	threadRunning
+	threadPaused
+	threadDone
+)
+
+// Thread is one schedulable execution context.
+type Thread struct {
+	TID  int
+	Proc *Process
+	Prog workload.Program
+
+	Ctx      workload.Context
+	StackSeg persist.Segment
+	mech     persist.Mechanism
+	regArea  uint64 // NVM register-save area
+
+	home  *coreState
+	state threadState
+
+	needYield      bool
+	pauseRequested bool
+	pauseWaiter    func()
+
+	// User-mode accounting (Fig 12's user-space IPC).
+	UserOps    uint64
+	UserCycles uint64
+
+	storeSeq uint64
+	sp       uint64
+}
+
+// State returns a printable thread state (tests and tools).
+func (t *Thread) State() string {
+	switch t.state {
+	case threadReady:
+		return "ready"
+	case threadRunning:
+		return "running"
+	case threadPaused:
+		return "paused"
+	default:
+		return "done"
+	}
+}
+
+// Mech exposes the thread's stack persistence mechanism.
+func (t *Thread) Mech() persist.Mechanism { return t.mech }
+
+// SP returns the thread's last architectural stack pointer (tracing and
+// the SP-awareness analyses read it).
+func (t *Thread) SP() uint64 { return t.sp }
+
+// Process is a persistent-capable process.
+type Process struct {
+	PID  int
+	Name string
+	Cfg  ProcessConfig
+
+	AS      *vm.AddressSpace
+	Threads []*Thread
+
+	HeapSeg  persist.Segment
+	heapMech persist.Mechanism
+
+	kern       *Kernel
+	headerAddr uint64
+	ckptSeq    uint64
+	ckptTicker *sim.Ticker
+
+	checkpointing bool
+
+	// Checkpoints completed and cumulative checkpoint statistics.
+	CheckpointCount uint64
+	CheckpointBytes uint64
+	CheckpointTime  sim.Time
+	StackCkptBytes  uint64
+	StackCkptTime   sim.Time
+
+	Counters *stats.Counters
+}
+
+// Spawn creates a process with one thread per program and makes its
+// threads runnable.
+func (k *Kernel) Spawn(cfg ProcessConfig, progs ...workload.Program) *Process {
+	cfg = cfg.withDefaults()
+	if len(progs) == 0 {
+		panic("kernel: Spawn needs at least one program")
+	}
+	p := &Process{
+		PID:      k.nextPID,
+		Name:     cfg.Name,
+		Cfg:      cfg,
+		AS:       vm.NewAddressSpace(k.Mach.DRAMFrames, k.Mach.NVMFrames),
+		kern:     k,
+		Counters: stats.NewCounters(),
+	}
+	k.nextPID++
+	if p.Name == "" {
+		p.Name = "proc"
+	}
+
+	// Heap area + mechanism.
+	heapInNVM := false
+	if cfg.HeapMech != nil {
+		p.heapMech = cfg.HeapMech()
+		heapInNVM = p.heapMech.PlaceInNVM()
+	}
+	check(p.AS.AddVMA(&vm.VMA{
+		Lo: heapBase, Hi: heapBase + cfg.HeapSize, Kind: vm.KindHeap,
+		Writable: true, InNVM: heapInNVM, ThreadID: -1,
+	}))
+	if cfg.PremapHeap {
+		p.AS.EnsureRange(heapBase, heapBase+cfg.HeapSize)
+	}
+
+	// NVM checkpoint areas: header page + heap areas + per-thread areas.
+	p.headerAddr = k.super.allocNVM(mem.PageSize)
+	if p.heapMech != nil {
+		p.HeapSeg = persist.Segment{
+			Lo: heapBase, Hi: heapBase + cfg.HeapSize, Kind: vm.KindHeap,
+			ImageBase: k.super.allocNVM(cfg.HeapSize),
+			MetaBase:  k.super.allocNVM(cfg.HeapSize + (1 << 20)),
+			MetaSize:  cfg.HeapSize + (1 << 20),
+		}
+		p.heapMech.Attach(k.env(p), p.HeapSeg)
+	}
+
+	for i, prog := range progs {
+		t := p.newThread(i, prog)
+		p.Threads = append(p.Threads, t)
+	}
+	p.writeHeader()
+	k.super.addProc(p.Name, p.headerAddr)
+	k.procs = append(k.procs, p)
+
+	for _, t := range p.Threads {
+		t.Prog.Start(t.Ctx)
+		k.enqueue(t)
+	}
+	if cfg.CheckpointInterval > 0 {
+		p.ckptTicker = k.Eng.NewTicker(cfg.CheckpointInterval, func() { k.checkpointProcess(p, nil) })
+	}
+	return p
+}
+
+// newThread lays out one thread's stack, NVM areas, and mechanism.
+func (p *Process) newThread(i int, prog workload.Program) *Thread {
+	k := p.kern
+	cfg := p.Cfg
+	stackHi := stackTopBase - uint64(p.PID)*16*stackSpacing - uint64(i)*stackSpacing
+	stackLo := stackHi - cfg.StackReserve
+	t := &Thread{
+		TID:  i,
+		Proc: p,
+		Prog: prog,
+		sp:   stackHi,
+		home: k.leastLoadedCore(),
+	}
+	t.Ctx = workload.Context{
+		StackHi:      stackHi,
+		StackReserve: cfg.StackReserve,
+		HeapLo:       heapBase,
+		HeapSize:     cfg.HeapSize,
+		Seed:         cfg.Seed + uint64(i)*7919,
+	}
+	if cfg.StackMech != nil {
+		t.mech = cfg.StackMech()
+	} else {
+		t.mech = persist.NewNone()()
+	}
+	check(p.AS.AddVMA(&vm.VMA{
+		Lo: stackLo, Hi: stackHi, Kind: vm.KindStack,
+		Writable: true, InNVM: t.mech.PlaceInNVM(), ThreadID: i,
+	}))
+	t.StackSeg = persist.Segment{
+		Lo: stackLo, Hi: stackHi, Kind: vm.KindStack,
+		ImageBase: k.super.allocNVM(cfg.StackReserve),
+		MetaBase:  k.super.allocNVM(cfg.StackReserve + (1 << 18)),
+		MetaSize:  cfg.StackReserve + (1 << 18),
+	}
+	t.regArea = k.super.allocNVM(mem.PageSize)
+	t.mech.Attach(k.env(p), t.StackSeg)
+	return t
+}
+
+// routeStore dispatches a store to the mechanism owning its segment,
+// including inter-thread stack writes (a thread storing into another
+// thread's stack range reaches that thread's mechanism). It returns the
+// stall the owning mechanism imposes on the store pipeline.
+func (p *Process) routeStore(core *machine.Core, vaddr, paddr uint64, size int) sim.Time {
+	if vaddr >= heapBase && vaddr < heapBase+p.Cfg.HeapSize {
+		if p.heapMech != nil {
+			return p.heapMech.OnStore(core, vaddr, paddr, size)
+		}
+		return 0
+	}
+	for _, t := range p.Threads {
+		if vaddr >= t.StackSeg.Lo && vaddr < t.StackSeg.Hi {
+			return t.mech.OnStore(core, vaddr, paddr, size)
+		}
+	}
+	return 0
+}
+
+func (p *Process) heapScheduleIn(core *machine.Core, done func()) {
+	if p.heapMech == nil {
+		done()
+		return
+	}
+	p.heapMech.OnScheduleIn(core, done)
+}
+
+func (p *Process) heapScheduleOut(core *machine.Core, done func()) {
+	if p.heapMech == nil {
+		done()
+		return
+	}
+	p.heapMech.OnScheduleOut(core, done)
+}
+
+// Header layout (one NVM page per process):
+//
+//	0    ckpt seq (committed)
+//	8    thread count
+//	16   stack reserve
+//	24   heap size
+//	32   heap image base | 0
+//	40   heap meta base
+//	48   heap meta size
+//	64+  per thread (64 bytes): stack image, stack meta, meta size, reg area
+func (p *Process) writeHeader() {
+	st := p.kern.Mach.Storage
+	buf := make([]byte, mem.PageSize)
+	putU64(buf, 0, p.ckptSeq)
+	putU64(buf, 8, uint64(len(p.Threads)))
+	putU64(buf, 16, p.Cfg.StackReserve)
+	putU64(buf, 24, p.Cfg.HeapSize)
+	putU64(buf, 32, p.HeapSeg.ImageBase)
+	putU64(buf, 40, p.HeapSeg.MetaBase)
+	putU64(buf, 48, p.HeapSeg.MetaSize)
+	for i, t := range p.Threads {
+		off := 64 + i*64
+		putU64(buf, off, t.StackSeg.ImageBase)
+		putU64(buf, off+8, t.StackSeg.MetaBase)
+		putU64(buf, off+16, t.StackSeg.MetaSize)
+		putU64(buf, off+24, t.regArea)
+	}
+	st.Write(p.headerAddr, buf)
+}
+
+// Done reports whether all threads have finished.
+func (p *Process) Done() bool {
+	for _, t := range p.Threads {
+		if t.state != threadDone {
+			return false
+		}
+	}
+	return true
+}
+
+// StopCheckpoints cancels the periodic checkpoint ticker.
+func (p *Process) StopCheckpoints() {
+	if p.ckptTicker != nil {
+		p.ckptTicker.Stop()
+		p.ckptTicker = nil
+	}
+}
+
+// Shutdown stops tickers owned by the process (checkpoint ticker and any
+// mechanism background threads), used when a run ends.
+func (p *Process) Shutdown() {
+	p.StopCheckpoints()
+	type detacher interface{ Detach() }
+	if d, ok := p.heapMech.(detacher); ok {
+		d.Detach()
+	}
+	for _, t := range p.Threads {
+		if d, ok := t.mech.(detacher); ok {
+			d.Detach()
+		}
+		t.Prog.Close()
+	}
+}
+
+// UserIPC aggregates user-mode instructions-per-cycle across threads.
+func (p *Process) UserIPC() float64 {
+	var ops, cycles uint64
+	for _, t := range p.Threads {
+		ops += t.UserOps
+		cycles += t.UserCycles
+	}
+	if cycles == 0 {
+		return 0
+	}
+	return float64(ops) / float64(cycles)
+}

@@ -1,0 +1,160 @@
+package kernel
+
+import (
+	"fmt"
+
+	"prosper/internal/mem"
+	"prosper/internal/persist"
+	"prosper/internal/stats"
+	"prosper/internal/vm"
+	"prosper/internal/workload"
+)
+
+// RecoverProcess rebuilds a crashed process from its NVM checkpoint area.
+// The caller provides the same ProcessConfig and fresh program instances
+// (like an init script relaunching services); the kernel re-binds them to
+// the persisted segments, runs each mechanism's recovery path to restore
+// DRAM contents (and repair torn applies), restores the register state
+// and, for checkpointable programs, the execution position of the last
+// committed checkpoint. done fires when the process is runnable again.
+func (k *Kernel) RecoverProcess(cfg ProcessConfig, progs []workload.Program, done func(*Process)) error {
+	cfg = cfg.withDefaults()
+	headerAddr, ok := k.super.findProc(cfg.Name)
+	if !ok {
+		return fmt.Errorf("kernel: no checkpoint area for process %q", cfg.Name)
+	}
+	st := k.Mach.Storage
+	hdr := make([]byte, mem.PageSize)
+	st.Read(headerAddr, hdr)
+	seq := mustU64(hdr, 0)
+	nThreads := int(mustU64(hdr, 8))
+	stackReserve := mustU64(hdr, 16)
+	heapSize := mustU64(hdr, 24)
+	if nThreads != len(progs) {
+		return fmt.Errorf("kernel: %d programs supplied for %d persisted threads", len(progs), nThreads)
+	}
+	if stackReserve != cfg.StackReserve || heapSize != cfg.HeapSize {
+		return fmt.Errorf("kernel: recovery config mismatch (reserve %d vs %d, heap %d vs %d)",
+			cfg.StackReserve, stackReserve, cfg.HeapSize, heapSize)
+	}
+
+	p := &Process{
+		PID:        k.nextPID,
+		Name:       cfg.Name,
+		Cfg:        cfg,
+		AS:         vm.NewAddressSpace(k.Mach.DRAMFrames, k.Mach.NVMFrames),
+		kern:       k,
+		headerAddr: headerAddr,
+		ckptSeq:    seq,
+		Counters:   stats.NewCounters(),
+	}
+	k.nextPID++
+
+	heapInNVM := false
+	if cfg.HeapMech != nil {
+		p.heapMech = cfg.HeapMech()
+		heapInNVM = p.heapMech.PlaceInNVM()
+	}
+	check(p.AS.AddVMA(&vm.VMA{
+		Lo: heapBase, Hi: heapBase + cfg.HeapSize, Kind: vm.KindHeap,
+		Writable: true, InNVM: heapInNVM, ThreadID: -1,
+	}))
+	if p.heapMech != nil {
+		p.HeapSeg = persist.Segment{
+			Lo: heapBase, Hi: heapBase + cfg.HeapSize, Kind: vm.KindHeap,
+			ImageBase: mustU64(hdr, 32),
+			MetaBase:  mustU64(hdr, 40),
+			MetaSize:  mustU64(hdr, 48),
+		}
+		p.heapMech.Attach(k.env(p), p.HeapSeg)
+	}
+
+	for i := 0; i < nThreads; i++ {
+		off := 64 + i*64
+		// Recreate the thread against its persisted areas. The stack's
+		// virtual placement must match the original layout, which is a
+		// pure function of (original PID, TID); the original PID is
+		// recoverable from the image segment... we persist layout
+		// implicitly by storing the virtual range in the register area at
+		// every checkpoint; here we derive it from the recorded reserve
+		// and the register save.
+		regArea := mustU64(hdr, off+24)
+		reg := make([]byte, mem.PageSize)
+		st.Read(regArea, reg)
+		sp := mustU64(reg, 0)
+		storeSeq := mustU64(reg, 8)
+		snapLen := mustU64(reg, 16)
+
+		stackHi := ((sp + stackSpacing - 1) / stackSpacing) * stackSpacing
+		if sp == 0 {
+			return fmt.Errorf("kernel: thread %d has no register checkpoint", i)
+		}
+		stackLo := stackHi - cfg.StackReserve
+		t := &Thread{
+			TID:  i,
+			Proc: p,
+			Prog: progs[i],
+			sp:   sp,
+			home: k.leastLoadedCore(),
+		}
+		t.storeSeq = storeSeq
+		t.Ctx = workload.Context{
+			StackHi:      stackHi,
+			StackReserve: cfg.StackReserve,
+			HeapLo:       heapBase,
+			HeapSize:     cfg.HeapSize,
+			Seed:         cfg.Seed + uint64(i)*7919,
+		}
+		if cfg.StackMech != nil {
+			t.mech = cfg.StackMech()
+		} else {
+			t.mech = persist.NewNone()()
+		}
+		check(p.AS.AddVMA(&vm.VMA{
+			Lo: stackLo, Hi: stackHi, Kind: vm.KindStack,
+			Writable: true, InNVM: t.mech.PlaceInNVM(), ThreadID: i,
+		}))
+		t.StackSeg = persist.Segment{
+			Lo: stackLo, Hi: stackHi, Kind: vm.KindStack,
+			ImageBase: mustU64(hdr, off),
+			MetaBase:  mustU64(hdr, off+8),
+			MetaSize:  mustU64(hdr, off+16),
+		}
+		t.regArea = regArea
+		t.mech.Attach(k.env(p), t.StackSeg)
+
+		t.Prog.Start(t.Ctx)
+		if c, ok := t.Prog.(workload.Checkpointable); ok && snapLen > 0 {
+			c.Restore(reg[24 : 24+snapLen])
+		}
+		p.Threads = append(p.Threads, t)
+	}
+	k.procs = append(k.procs, p)
+
+	// Run every mechanism's recovery path, then make threads runnable.
+	pending := len(p.Threads) + 1
+	complete := func() {
+		pending--
+		if pending > 0 {
+			return
+		}
+		for _, t := range p.Threads {
+			k.enqueue(t)
+		}
+		if cfg.CheckpointInterval > 0 {
+			p.ckptTicker = k.Eng.NewTicker(cfg.CheckpointInterval, func() { k.checkpointProcess(p, nil) })
+		}
+		if done != nil {
+			done(p)
+		}
+	}
+	for _, t := range p.Threads {
+		t.mech.Recover(complete)
+	}
+	if p.heapMech != nil {
+		p.heapMech.Recover(complete)
+	} else {
+		k.Eng.Schedule(0, func() { complete() })
+	}
+	return nil
+}

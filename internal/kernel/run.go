@@ -1,0 +1,115 @@
+package kernel
+
+import (
+	"encoding/binary"
+
+	"prosper/internal/workload"
+)
+
+// step executes one operation of the thread on its core, then reschedules
+// itself. Preemption and checkpoint pauses happen at op boundaries only,
+// which keeps the simulation deterministic and matches the quantum
+// granularity of the experiments.
+func (k *Kernel) step(t *Thread, cs *coreState) {
+	if t.state != threadRunning || cs.cur != t {
+		return
+	}
+	if t.needYield {
+		k.yield(cs, t, func() { k.parkOrRequeue(t) })
+		return
+	}
+	op := t.Prog.Next()
+	start := k.Eng.Now()
+	finish := func() {
+		t.UserOps++
+		t.UserCycles += uint64(k.Eng.Now()-start) + 1
+		k.Eng.Schedule(1, func() { k.step(t, cs) })
+	}
+	switch op.Kind {
+	case workload.End:
+		t.state = threadDone
+		cs.cur = nil
+		k.Counters.Inc("kernel.threads_done")
+		k.scheduleNext(cs)
+	case workload.Compute:
+		t.UserOps += uint64(op.Cycles) // a compute block is ~1 op/cycle
+		t.UserCycles += uint64(op.Cycles)
+		k.Eng.Schedule(op.Cycles, func() { k.step(t, cs) })
+	case workload.Load:
+		if op.SP != 0 {
+			t.sp = op.SP
+		}
+		cs.core.Read(op.Addr, int(op.Size), func([]byte) { finish() })
+	case workload.Store:
+		if op.SP != 0 {
+			t.sp = op.SP
+		}
+		cs.core.Write(op.Addr, t.storeData(op), finish)
+	default:
+		panic("kernel: unknown op kind")
+	}
+}
+
+// storeData produces the deterministic payload for a store: a pattern
+// derived from the address and the thread's store sequence number, so
+// every write changes memory contents verifiably.
+func (t *Thread) storeData(op workload.Op) []byte {
+	t.storeSeq++
+	data := make([]byte, op.Size)
+	var seedBuf [8]byte
+	binary.LittleEndian.PutUint64(seedBuf[:], op.Addr^t.storeSeq*0x9e3779b97f4a7c15)
+	for i := range data {
+		data[i] = seedBuf[i%8] ^ byte(i)
+	}
+	return data
+}
+
+// parkOrRequeue handles a thread that just left its core: a requested
+// pause parks it (checkpoint); otherwise it goes to the back of the run
+// queue (quantum expiry).
+func (k *Kernel) parkOrRequeue(t *Thread) {
+	if t.pauseRequested {
+		t.state = threadPaused
+		t.pauseRequested = false
+		if w := t.pauseWaiter; w != nil {
+			t.pauseWaiter = nil
+			w()
+		}
+		return
+	}
+	t.state = threadReady
+	t.home.runq = append(t.home.runq, t)
+}
+
+// pauseThread asks the thread to stop at its next op boundary; done fires
+// once it is parked with its mechanism state saved and quiescent.
+func (k *Kernel) pauseThread(t *Thread, done func()) {
+	switch t.state {
+	case threadDone, threadPaused:
+		k.Eng.Schedule(0, done)
+	case threadReady:
+		// Off-core: its mechanism state was already saved at yield.
+		// Remove from the run queue and park directly.
+		q := t.home.runq
+		for i, q0 := range q {
+			if q0 == t {
+				t.home.runq = append(q[:i], q[i+1:]...)
+				break
+			}
+		}
+		t.state = threadPaused
+		k.Eng.Schedule(0, done)
+	case threadRunning:
+		t.pauseRequested = true
+		t.needYield = true
+		t.pauseWaiter = done
+	}
+}
+
+// resumeThread makes a paused thread runnable again.
+func (k *Kernel) resumeThread(t *Thread) {
+	if t.state != threadPaused {
+		return
+	}
+	k.enqueue(t)
+}

@@ -1,0 +1,56 @@
+package kernel
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"prosper/internal/stats"
+)
+
+// DumpStats writes every counter the simulated system maintains — kernel,
+// cores, cache levels, memory devices, trackers, and per-process
+// checkpoint statistics — in a stable order, the equivalent of gem5's
+// stats.txt dump that the paper's artifact parses.
+func (k *Kernel) DumpStats(w io.Writer) {
+	section := func(name string, c *stats.Counters) {
+		if c == nil {
+			return
+		}
+		names := c.Names()
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(w, "%s.%s %d\n", name, n, c.Get(n))
+		}
+	}
+	section("kernel", k.Counters)
+	for i, cs := range k.cores {
+		section(fmt.Sprintf("core%d", i), cs.core.Counters)
+		section(fmt.Sprintf("core%d.tlb", i), cs.core.TLB.Counters)
+	}
+	for i, c := range k.Mach.Hier.L1D {
+		section(fmt.Sprintf("l1d%d", i), c.Counters)
+	}
+	for i, c := range k.Mach.Hier.L2 {
+		section(fmt.Sprintf("l2_%d", i), c.Counters)
+	}
+	section("l3", k.Mach.Hier.L3.Counters)
+	section("dram", k.Mach.Ctl.DRAM.Counters)
+	section("nvm", k.Mach.Ctl.NVM.Counters)
+	section("machine", k.Mach.Counters)
+	for i, tr := range k.Trackers {
+		section(fmt.Sprintf("tracker%d", i), tr.Counters)
+	}
+	for _, p := range k.procs {
+		section(fmt.Sprintf("proc.%s", p.Name), p.Counters)
+		fmt.Fprintf(w, "proc.%s.checkpoints %d\n", p.Name, p.CheckpointCount)
+		fmt.Fprintf(w, "proc.%s.checkpoint_bytes %d\n", p.Name, p.CheckpointBytes)
+		fmt.Fprintf(w, "proc.%s.checkpoint_cycles %d\n", p.Name, uint64(p.CheckpointTime))
+		for _, t := range p.Threads {
+			fmt.Fprintf(w, "proc.%s.thread%d.user_ops %d\n", p.Name, t.TID, t.UserOps)
+			fmt.Fprintf(w, "proc.%s.thread%d.user_cycles %d\n", p.Name, t.TID, t.UserCycles)
+		}
+	}
+	fmt.Fprintf(w, "sim.cycles %d\n", k.Eng.Now())
+	fmt.Fprintf(w, "sim.events %d\n", k.Eng.Fired())
+}

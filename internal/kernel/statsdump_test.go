@@ -1,0 +1,71 @@
+package kernel
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+
+	"prosper/internal/persist"
+	"prosper/internal/sim"
+	"prosper/internal/workload"
+)
+
+func TestDumpStatsContainsAllSections(t *testing.T) {
+	k := testKernel(2)
+	p := k.Spawn(ProcessConfig{
+		Name:               "dumpme",
+		StackMech:          persist.NewProsper(persist.ProsperConfig{}),
+		CheckpointInterval: 200 * sim.Microsecond,
+	}, workload.NewRandom(workload.MicroParams{ArrayBytes: 8 << 10, WritesPerRun: 64}))
+	k.RunFor(700 * sim.Microsecond)
+	p.Shutdown()
+
+	var buf bytes.Buffer
+	k.DumpStats(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"kernel.kernel.context_switches",
+		"core0.core.stores",
+		"l1d0.l1d.hits",
+		"l3.l3.",
+		"dram.dram.reads",
+		"nvm.nvm.writes",
+		"tracker0.prosper.sois",
+		"proc.dumpme.checkpoints",
+		"proc.dumpme.thread0.user_ops",
+		"sim.cycles",
+		"sim.events",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out[:min(len(out), 800)])
+		}
+	}
+}
+
+func TestDumpStatsParseable(t *testing.T) {
+	k := testKernel(1)
+	k.Spawn(ProcessConfig{Name: "p"}, workload.NewCounter(500))
+	k.RunUntilDone(sim.Second)
+	var buf bytes.Buffer
+	k.DumpStats(&buf)
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 {
+			t.Fatalf("unparseable line: %q", sc.Text())
+		}
+	}
+	if lines < 25 {
+		t.Fatalf("dump suspiciously small: %d lines", lines)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

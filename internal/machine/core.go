@@ -1,0 +1,286 @@
+package machine
+
+import (
+	"prosper/internal/cache"
+	"prosper/internal/mem"
+	"prosper/internal/sim"
+	"prosper/internal/stats"
+	"prosper/internal/vm"
+)
+
+// StoreObserver sees every store the core issues, with its virtual
+// address, before it enters the cache hierarchy. The Prosper dirty
+// tracker and Romulus's hardware logger implement this.
+type StoreObserver interface {
+	ObserveStore(vaddr uint64, size int)
+}
+
+// FaultHandler resolves a page fault in kernel context; the machine
+// charges Config.PageFaultCycles around the call. Returning an error
+// kills the access (simulated segfault).
+type FaultHandler func(vaddr uint64, write bool) error
+
+// Core is one in-order simulated CPU. The kernel binds an address space,
+// fault handler, and optional observers before running code on it.
+type Core struct {
+	ID   int
+	mach *Machine
+	eng  *sim.Engine
+
+	TLB *vm.TLB
+	l1  *cache.Cache
+	l2  *cache.Cache
+
+	// Context, owned by the kernel.
+	AS       *vm.AddressSpace
+	OnFault  FaultHandler
+	Observer StoreObserver
+	// StoreHook, when set, interposes extra persistence work per store
+	// (Romulus logging, SSP shadow remapping); it runs after the
+	// functional write, may issue its own timed traffic, and returns a
+	// stall the store pipeline must absorb before the store retires
+	// (e.g. SSP's shadow-line remap resolution from NVM).
+	StoreHook func(vaddr, paddr uint64, size int) sim.Time
+	// Tracer, when set, observes every program-issued memory operation at
+	// issue time (the SniP-style tracing tap used by internal/trace).
+	Tracer func(write bool, vaddr uint64, size int)
+
+	storeCredits int
+	storeWaiters []func()
+
+	Counters *stats.Counters
+}
+
+func newCore(m *Machine, id int) *Core {
+	return &Core{
+		ID:           id,
+		mach:         m,
+		eng:          m.Eng,
+		TLB:          vm.NewTLB(m.Cfg.TLBEntries),
+		l1:           m.Hier.L1D[id],
+		l2:           m.Hier.L2[id],
+		storeCredits: m.Cfg.StoreBuffer,
+		Counters:     stats.NewCounters(),
+	}
+}
+
+// L1 returns the core's private L1D (the Prosper tracker taps the port in
+// front of it).
+func (c *Core) L1() *cache.Cache { return c.l1 }
+
+// L2 returns the core's private L2; tracker-generated bitmap traffic is
+// injected here so it does not pollute L1 but still contends below it.
+func (c *Core) L2() *cache.Cache { return c.l2 }
+
+// SwitchContext rebinds the core to a new address space, flushing the TLB
+// like a CR3 write.
+func (c *Core) SwitchContext(as *vm.AddressSpace) {
+	c.AS = as
+	c.TLB.Flush()
+	c.Counters.Inc("core.context_switches")
+}
+
+// translate resolves vaddr and calls k with the physical address. It
+// models TLB lookup, hardware page walks (timed reads through L2 of the
+// real walk addresses), dirty-bit setting walks on first store to a clean
+// page, and page faults through the kernel handler.
+func (c *Core) translate(vaddr uint64, write bool, k func(paddr uint64)) {
+	if e := c.TLB.Lookup(vaddr); e != nil {
+		if write && !e.Write {
+			c.fault(vaddr, write, k)
+			return
+		}
+		if write && !e.Dirty {
+			// First store since the PTE's dirty bit was cleared: the page
+			// walker must set it in memory (this is what gives the
+			// Dirtybit tracking baseline its per-page cost).
+			c.walk(vaddr, func() {
+				pte := c.AS.PT.Lookup(vaddr)
+				if pte == nil || !pte.Present() {
+					c.fault(vaddr, write, k)
+					return
+				}
+				pte.Flags |= vm.FlagDirty | vm.FlagAccess
+				e.Dirty = true
+				c.Counters.Inc("core.dirty_set_walks")
+				k(e.Frame | (vaddr & (mem.PageSize - 1)))
+			})
+			return
+		}
+		k(e.Frame | (vaddr & (mem.PageSize - 1)))
+		return
+	}
+	// TLB miss: hardware walk.
+	c.walk(vaddr, func() {
+		paddr, pte, ok := c.AS.PT.Translate(vaddr)
+		if !ok || (write && !pte.Writable()) {
+			c.fault(vaddr, write, k)
+			return
+		}
+		pte.Flags |= vm.FlagAccess
+		if write {
+			pte.Flags |= vm.FlagDirty
+		}
+		c.TLB.Insert(vaddr, paddr&^uint64(mem.PageSize-1), pte.Writable(), pte.Dirty())
+		k(paddr)
+	})
+}
+
+// walk issues the dependent chain of page-table reads through L2.
+func (c *Core) walk(vaddr uint64, done func()) {
+	c.Counters.Inc("core.page_walks")
+	addrs := c.AS.PT.WalkAddrs(vaddr)
+	i := 0
+	var step func()
+	step = func() {
+		if i >= len(addrs) {
+			done()
+			return
+		}
+		a := addrs[i]
+		i++
+		c.l2.Access(false, a, step)
+	}
+	step()
+}
+
+// fault invokes the kernel fault handler, charges the fault cost, and
+// retries the translation. An unresolvable fault panics: simulated
+// workloads are not supposed to segfault.
+func (c *Core) fault(vaddr uint64, write bool, k func(uint64)) {
+	c.Counters.Inc("core.page_faults")
+	if c.OnFault == nil {
+		panic("machine: page fault with no handler")
+	}
+	if err := c.OnFault(vaddr, write); err != nil {
+		panic("machine: " + err.Error())
+	}
+	c.TLB.Invalidate(vaddr)
+	c.eng.Schedule(c.mach.Cfg.PageFaultCycles, func() {
+		c.translate(vaddr, write, k)
+	})
+}
+
+// Read performs a timed load of size bytes at vaddr; done receives the
+// data once the slowest line completes. Loads block the core (the kernel
+// run loop waits for done before issuing the next op).
+func (c *Core) Read(vaddr uint64, size int, done func([]byte)) {
+	c.Counters.Inc("core.loads")
+	if c.Tracer != nil {
+		c.Tracer(false, vaddr, size)
+	}
+	buf := make([]byte, size)
+	lines := splitLines(vaddr, size)
+	remaining := len(lines)
+	for _, seg := range lines {
+		seg := seg
+		c.translate(seg.va, false, func(paddr uint64) {
+			c.mach.Storage.Read(paddr, buf[seg.off:seg.off+seg.n])
+			c.l1.Access(false, paddr, func() {
+				remaining--
+				if remaining == 0 && done != nil {
+					done(buf)
+				}
+			})
+		})
+	}
+}
+
+// Write performs a store of data at vaddr. done fires when the store has
+// been accepted into the store buffer (program order can continue), not
+// when it completes in the memory system; completion returns the buffer
+// credit asynchronously, so a full store buffer stalls the core exactly
+// like real hardware.
+func (c *Core) Write(vaddr uint64, data []byte, done func()) {
+	c.Counters.Inc("core.stores")
+	if c.Tracer != nil {
+		c.Tracer(true, vaddr, len(data))
+	}
+	if c.Observer != nil {
+		c.Observer.ObserveStore(vaddr, len(data))
+	}
+	lines := splitLines(vaddr, len(data))
+	remaining := len(lines)
+	for _, seg := range lines {
+		seg := seg
+		c.translate(seg.va, true, func(paddr uint64) {
+			c.mach.Storage.Write(paddr, data[seg.off:seg.off+seg.n])
+			var stall sim.Time
+			if c.StoreHook != nil {
+				stall = c.StoreHook(seg.va, paddr, seg.n)
+			}
+			issue := func() {
+				c.acquireStoreCredit(func() {
+					c.l1.Access(true, paddr, c.releaseStoreCredit)
+					remaining--
+					if remaining == 0 && done != nil {
+						done()
+					}
+				})
+			}
+			if stall > 0 {
+				c.Counters.Inc("core.store_hook_stalls")
+				c.eng.Schedule(stall, issue)
+			} else {
+				issue()
+			}
+		})
+	}
+}
+
+func (c *Core) acquireStoreCredit(k func()) {
+	if c.storeCredits > 0 {
+		c.storeCredits--
+		k()
+		return
+	}
+	c.Counters.Inc("core.store_buffer_stalls")
+	c.storeWaiters = append(c.storeWaiters, k)
+}
+
+func (c *Core) releaseStoreCredit() {
+	if len(c.storeWaiters) > 0 {
+		k := c.storeWaiters[0]
+		c.storeWaiters = c.storeWaiters[1:]
+		k()
+		return
+	}
+	c.storeCredits++
+}
+
+// DrainStores calls done once every in-flight store has left the store
+// buffer (a store fence, used around checkpoints and context switches).
+func (c *Core) DrainStores(done func()) {
+	if c.storeCredits == c.mach.Cfg.StoreBuffer && len(c.storeWaiters) == 0 {
+		c.eng.Schedule(0, done)
+		return
+	}
+	c.eng.Schedule(20, func() { c.DrainStores(done) })
+}
+
+type lineSeg struct {
+	va  uint64
+	off int
+	n   int
+}
+
+// splitLines cuts [vaddr, vaddr+size) at cache-line boundaries.
+func splitLines(vaddr uint64, size int) []lineSeg {
+	if size <= 0 {
+		return nil
+	}
+	segs := make([]lineSeg, 0, mem.LinesSpanned(vaddr, size))
+	off := 0
+	for size > 0 {
+		space := int(mem.LineSize - (vaddr & (mem.LineSize - 1)))
+		n := size
+		if n > space {
+			n = space
+		}
+		segs = append(segs, lineSeg{va: vaddr, off: off, n: n})
+		vaddr += uint64(n)
+		off += n
+		size -= n
+	}
+	return segs
+}

@@ -1,0 +1,197 @@
+// Package machine assembles the simulated hardware: cores with TLBs and
+// store buffers in front of the cache hierarchy, the hybrid DRAM+NVM
+// memory system, and timed physical-memory copy engines. The kernel
+// package drives cores by binding address spaces and instruction streams
+// to them; machine knows nothing about processes.
+package machine
+
+import (
+	"prosper/internal/cache"
+	"prosper/internal/mem"
+	"prosper/internal/sim"
+	"prosper/internal/stats"
+)
+
+// Config sizes the machine. Zero fields take the defaults of Table II.
+type Config struct {
+	Cores           int
+	TLBEntries      int
+	StoreBuffer     int      // store-buffer entries per core
+	PageFaultCycles sim.Time // kernel entry/exit + handler cost per fault
+	CopyWindow      int      // outstanding lines per physical copy engine
+
+	// Storage, when non-nil, backs the machine with an existing
+	// functional store — the post-crash reboot path: NVM contents
+	// survive in the shared Storage while the new machine starts with
+	// cold caches and TLBs.
+	Storage *mem.Storage
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cores <= 0 {
+		c.Cores = 4
+	}
+	if c.TLBEntries <= 0 {
+		c.TLBEntries = 64
+	}
+	if c.StoreBuffer <= 0 {
+		c.StoreBuffer = 32
+	}
+	if c.PageFaultCycles <= 0 {
+		c.PageFaultCycles = 3000 // ~1 µs kernel fault path
+	}
+	if c.CopyWindow <= 0 {
+		c.CopyWindow = 8
+	}
+	return c
+}
+
+// Machine is one simulated host.
+type Machine struct {
+	Cfg     Config
+	Eng     *sim.Engine
+	Storage *mem.Storage
+	Ctl     *mem.Controller
+	Hier    *cache.Hierarchy
+	Cores   []*Core
+
+	DRAMFrames *mem.FrameAllocator
+	NVMFrames  *mem.FrameAllocator
+
+	Counters *stats.Counters
+}
+
+// New builds a machine with the paper's memory system.
+func New(cfg Config) *Machine {
+	cfg = cfg.withDefaults()
+	eng := sim.NewEngine()
+	ctl := mem.NewController(eng)
+	storage := cfg.Storage
+	if storage == nil {
+		storage = mem.NewStorage()
+	}
+	m := &Machine{
+		Cfg:     cfg,
+		Eng:     eng,
+		Storage: storage,
+		Ctl:     ctl,
+		Hier:    cache.NewHierarchy(eng, cfg.Cores, cache.PortFunc(ctl.Access)),
+		// DRAM frames cover the whole device. The NVM frame pool covers
+		// only the upper half: the lower half is reserved for the
+		// kernel's checkpoint areas (superblock-managed; see
+		// internal/kernel), so page placement and checkpoint images can
+		// never collide.
+		DRAMFrames: mem.NewFrameAllocator(mem.DRAMBase, mem.DRAMSize),
+		NVMFrames:  mem.NewFrameAllocator(mem.NVMBase+mem.NVMSize/2, mem.NVMSize/2),
+		Counters:   stats.NewCounters(),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		m.Cores = append(m.Cores, newCore(m, i))
+	}
+	return m
+}
+
+// Crash models a power failure: all caches and DRAM contents are lost;
+// NVM contents survive. Pending simulation events are abandoned by the
+// caller constructing a fresh Machine for the post-crash boot; this
+// method only applies the data-loss semantics to the shared Storage.
+func (m *Machine) Crash() {
+	// Dirty lines in caches never reached memory; since Storage is
+	// functional-first, we approximate cache loss by dropping DRAM, which
+	// subsumes it for all user data (NVM persists only what the
+	// checkpoint engine explicitly copied and fenced).
+	m.Storage.DropRange(mem.DRAMBase, mem.DRAMSize)
+	m.Counters.Inc("machine.crashes")
+}
+
+// CopyPhys performs a timed, pipelined physical-memory copy of n bytes
+// from src to dst at cache-line granularity, bypassing the caches (a
+// streaming kernel copy with non-temporal semantics). The functional copy
+// happens immediately; done fires when the last line write completes at
+// the destination device — for NVM destinations this is the persistence
+// point.
+func (m *Machine) CopyPhys(dst, src uint64, n int, done func()) {
+	if n <= 0 {
+		if done != nil {
+			m.Eng.Schedule(0, done)
+		}
+		return
+	}
+	m.Storage.Copy(dst, src, n)
+	m.Counters.Add("machine.copy_bytes", uint64(n))
+
+	lines := mem.LinesSpanned(src, n)
+	window := m.Cfg.CopyWindow
+	issued, completed := 0, 0
+	var pump func()
+	inFlight := 0
+	pump = func() {
+		for inFlight < window && issued < lines {
+			i := issued
+			issued++
+			inFlight++
+			srcLine := mem.LineOf(src) + uint64(i)*mem.LineSize
+			dstLine := mem.LineOf(dst) + uint64(i)*mem.LineSize
+			m.Ctl.Access(false, srcLine, func() {
+				m.Ctl.Access(true, dstLine, func() {
+					inFlight--
+					completed++
+					if completed == lines {
+						if done != nil {
+							done()
+						}
+						return
+					}
+					pump()
+				})
+			})
+		}
+	}
+	pump()
+}
+
+// WritePhys performs a timed write of data to physical addr through the
+// memory controller (bypassing caches), updating functional storage
+// immediately. done fires at device completion.
+func (m *Machine) WritePhys(addr uint64, data []byte, done func()) {
+	m.Storage.Write(addr, data)
+	lines := mem.LinesSpanned(addr, len(data))
+	if lines == 0 {
+		if done != nil {
+			m.Eng.Schedule(0, done)
+		}
+		return
+	}
+	remaining := lines
+	for i := 0; i < lines; i++ {
+		m.Ctl.Access(true, mem.LineOf(addr)+uint64(i)*mem.LineSize, func() {
+			remaining--
+			if remaining == 0 && done != nil {
+				done()
+			}
+		})
+	}
+}
+
+// ReadPhys performs a timed read of n bytes at physical addr through the
+// memory controller; done receives the data at device completion.
+func (m *Machine) ReadPhys(addr uint64, n int, done func([]byte)) {
+	buf := make([]byte, n)
+	m.Storage.Read(addr, buf)
+	lines := mem.LinesSpanned(addr, n)
+	if lines == 0 {
+		if done != nil {
+			m.Eng.Schedule(0, func() { done(buf) })
+		}
+		return
+	}
+	remaining := lines
+	for i := 0; i < lines; i++ {
+		m.Ctl.Access(false, mem.LineOf(addr)+uint64(i)*mem.LineSize, func() {
+			remaining--
+			if remaining == 0 && done != nil {
+				done(buf)
+			}
+		})
+	}
+}

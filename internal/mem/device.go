@@ -1,0 +1,210 @@
+package mem
+
+import (
+	"prosper/internal/sim"
+	"prosper/internal/stats"
+)
+
+// DeviceConfig captures the timing behaviour of one memory device. All
+// durations are in cycles at sim.Frequency.
+type DeviceConfig struct {
+	Name string
+
+	// ReadLatency / WriteLatency is the access latency from the moment a
+	// request begins service at a bank to completion.
+	ReadLatency  sim.Time
+	WriteLatency sim.Time
+
+	// Banks is the number of independently schedulable banks; BankBusyRead
+	// and BankBusyWrite are the occupancy a request imposes on its bank.
+	Banks         int
+	BankBusyRead  sim.Time
+	BankBusyWrite sim.Time
+
+	// BusPerAccess is the channel serialization cost of transferring one
+	// line; it bounds the device's peak bandwidth.
+	BusPerAccess sim.Time
+
+	// ReadBuffer and WriteBuffer limit in-flight requests of each class
+	// (NVM interface of Table II: 64-entry read, 48-entry write buffers).
+	// Zero means unlimited.
+	ReadBuffer  int
+	WriteBuffer int
+}
+
+// DDR4Config models the DDR4-2400 16x4 DRAM interface of Table II:
+// ~45 ns access, 16 banks, ~19 GB/s peak line bandwidth.
+func DDR4Config() DeviceConfig {
+	return DeviceConfig{
+		Name:          "dram",
+		ReadLatency:   135, // 45 ns
+		WriteLatency:  135,
+		Banks:         16,
+		BankBusyRead:  100,
+		BankBusyWrite: 100,
+		BusPerAccess:  10, // 64 B / 3.33 ns -> 19.2 GB/s
+	}
+}
+
+// PCMConfig models the PCM NVM interface of Table II with the read/write
+// buffer sizes the paper configures and the asymmetric latencies of
+// phase-change memory (reads ~3x DRAM, writes ~10x).
+func PCMConfig() DeviceConfig {
+	return DeviceConfig{
+		Name:          "nvm",
+		ReadLatency:   450,  // 150 ns
+		WriteLatency:  1500, // 500 ns
+		Banks:         16,
+		BankBusyRead:  250,
+		BankBusyWrite: 900, // 300 ns bank occupancy -> ~3.4 GB/s write BW
+		BusPerAccess:  20,  // ~9.6 GB/s channel
+		ReadBuffer:    64,
+		WriteBuffer:   48,
+	}
+}
+
+type pendingAccess struct {
+	write bool
+	addr  uint64
+	done  func()
+}
+
+// Device is the timing model of one memory device. It services accesses
+// through banked queues with a shared channel bus and optional per-class
+// buffer backpressure. Function (data movement) lives in Storage, not here.
+type Device struct {
+	eng *sim.Engine
+	cfg DeviceConfig
+
+	bankFreeAt []sim.Time
+	busFreeAt  sim.Time
+
+	inflightReads  int
+	inflightWrites int
+	waiting        []pendingAccess
+
+	Counters *stats.Counters
+}
+
+// NewDevice builds a device timing model on the given engine.
+func NewDevice(eng *sim.Engine, cfg DeviceConfig) *Device {
+	if cfg.Banks <= 0 {
+		cfg.Banks = 1
+	}
+	return &Device{
+		eng:        eng,
+		cfg:        cfg,
+		bankFreeAt: make([]sim.Time, cfg.Banks),
+		Counters:   stats.NewCounters(),
+	}
+}
+
+// Name returns the configured device name.
+func (d *Device) Name() string { return d.cfg.Name }
+
+// Access requests one line-sized access at addr; done fires when the
+// device completes it. Writes may be delayed by write-buffer backpressure.
+func (d *Device) Access(write bool, addr uint64, done func()) {
+	if d.admissible(write) {
+		d.start(pendingAccess{write: write, addr: addr, done: done})
+		return
+	}
+	d.Counters.Inc(d.cfg.Name + ".buffer_stalls")
+	d.waiting = append(d.waiting, pendingAccess{write: write, addr: addr, done: done})
+}
+
+func (d *Device) admissible(write bool) bool {
+	if write {
+		return d.cfg.WriteBuffer == 0 || d.inflightWrites < d.cfg.WriteBuffer
+	}
+	return d.cfg.ReadBuffer == 0 || d.inflightReads < d.cfg.ReadBuffer
+}
+
+func (d *Device) start(p pendingAccess) {
+	bank := int((p.addr >> LineShift) % uint64(d.cfg.Banks))
+	start := d.eng.Now()
+	if d.bankFreeAt[bank] > start {
+		start = d.bankFreeAt[bank]
+	}
+	if d.busFreeAt > start {
+		start = d.busFreeAt
+	}
+	var occupancy, latency sim.Time
+	if p.write {
+		occupancy, latency = d.cfg.BankBusyWrite, d.cfg.WriteLatency
+		d.inflightWrites++
+		d.Counters.Inc(d.cfg.Name + ".writes")
+	} else {
+		occupancy, latency = d.cfg.BankBusyRead, d.cfg.ReadLatency
+		d.inflightReads++
+		d.Counters.Inc(d.cfg.Name + ".reads")
+	}
+	d.bankFreeAt[bank] = start + occupancy
+	d.busFreeAt = start + d.cfg.BusPerAccess
+	finish := start + latency
+	write := p.write
+	done := p.done
+	d.eng.At(finish, func() {
+		if write {
+			d.inflightWrites--
+		} else {
+			d.inflightReads--
+		}
+		d.drainWaiting()
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// EstimatedWait returns the expected queueing delay a new request would
+// see right now: average bank backlog, channel-bus backlog, and the
+// admission queue. Persistence hardware uses it to model how congestion
+// (e.g. a flooding consolidation thread) stretches its pipeline stalls.
+func (d *Device) EstimatedWait() sim.Time {
+	now := d.eng.Now()
+	var sum sim.Time
+	for _, t := range d.bankFreeAt {
+		if t > now {
+			sum += t - now
+		}
+	}
+	wait := sum / sim.Time(len(d.bankFreeAt))
+	if b := d.busFreeAt - now; b > wait {
+		wait = b
+	}
+	return wait + sim.Time(len(d.waiting))*d.cfg.BusPerAccess
+}
+
+func (d *Device) drainWaiting() {
+	for len(d.waiting) > 0 && d.admissible(d.waiting[0].write) {
+		p := d.waiting[0]
+		d.waiting = d.waiting[1:]
+		d.start(p)
+	}
+}
+
+// Controller routes physical line accesses to the DRAM or NVM device by
+// address and tallies hybrid-memory traffic.
+type Controller struct {
+	DRAM *Device
+	NVM  *Device
+}
+
+// NewController builds a controller over freshly configured DDR4 and PCM
+// devices.
+func NewController(eng *sim.Engine) *Controller {
+	return &Controller{
+		DRAM: NewDevice(eng, DDR4Config()),
+		NVM:  NewDevice(eng, PCMConfig()),
+	}
+}
+
+// Access routes one line access at physical address addr.
+func (c *Controller) Access(write bool, addr uint64, done func()) {
+	if IsNVM(addr) {
+		c.NVM.Access(write, addr, done)
+		return
+	}
+	c.DRAM.Access(write, addr, done)
+}

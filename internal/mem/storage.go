@@ -1,0 +1,120 @@
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Storage is the sparse functional byte store backing the whole physical
+// address space. Pages are materialized on first touch and read as zeroes
+// before that, like real zero-filled memory.
+type Storage struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+// NewStorage returns an empty store.
+func NewStorage() *Storage {
+	return &Storage{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+func (s *Storage) page(addr uint64, create bool) *[PageSize]byte {
+	base := PageOf(addr)
+	p := s.pages[base]
+	if p == nil && create {
+		p = new([PageSize]byte)
+		s.pages[base] = p
+	}
+	return p
+}
+
+// Read copies len(buf) bytes starting at addr into buf. Unmaterialized
+// pages read as zero.
+func (s *Storage) Read(addr uint64, buf []byte) {
+	for len(buf) > 0 {
+		off := addr & (PageSize - 1)
+		n := PageSize - off
+		if uint64(len(buf)) < n {
+			n = uint64(len(buf))
+		}
+		if p := s.page(addr, false); p != nil {
+			copy(buf[:n], p[off:off+n])
+		} else {
+			for i := uint64(0); i < n; i++ {
+				buf[i] = 0
+			}
+		}
+		buf = buf[n:]
+		addr += n
+	}
+}
+
+// Write stores data starting at addr.
+func (s *Storage) Write(addr uint64, data []byte) {
+	for len(data) > 0 {
+		off := addr & (PageSize - 1)
+		n := PageSize - off
+		if uint64(len(data)) < n {
+			n = uint64(len(data))
+		}
+		p := s.page(addr, true)
+		copy(p[off:off+n], data[:n])
+		data = data[n:]
+		addr += n
+	}
+}
+
+// ReadU64 reads a little-endian 64-bit word at addr.
+func (s *Storage) ReadU64(addr uint64) uint64 {
+	var buf [8]byte
+	s.Read(addr, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// WriteU64 writes a little-endian 64-bit word at addr.
+func (s *Storage) WriteU64(addr uint64, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	s.Write(addr, buf[:])
+}
+
+// ReadU32 reads a little-endian 32-bit word at addr.
+func (s *Storage) ReadU32(addr uint64) uint32 {
+	var buf [4]byte
+	s.Read(addr, buf[:])
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+// WriteU32 writes a little-endian 32-bit word at addr.
+func (s *Storage) WriteU32(addr uint64, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	s.Write(addr, buf[:])
+}
+
+// Copy moves n bytes from src to dst inside the store.
+func (s *Storage) Copy(dst, src uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	buf := make([]byte, n)
+	s.Read(src, buf)
+	s.Write(dst, buf)
+}
+
+// DropRange discards all pages fully contained in [base, base+size),
+// emulating loss of a volatile device's content at power failure. The
+// range must be page-aligned.
+func (s *Storage) DropRange(base, size uint64) {
+	if base%PageSize != 0 || size%PageSize != 0 {
+		panic(fmt.Sprintf("mem: DropRange not page aligned: %#x+%#x", base, size))
+	}
+	for pageBase := range s.pages {
+		if pageBase >= base && pageBase < base+size {
+			delete(s.pages, pageBase)
+		}
+	}
+}
+
+// MaterializedPages returns how many pages are currently backed, a proxy
+// for simulator memory footprint.
+func (s *Storage) MaterializedPages() int { return len(s.pages) }

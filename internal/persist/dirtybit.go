@@ -1,0 +1,127 @@
+package persist
+
+import (
+	"prosper/internal/machine"
+	"prosper/internal/mem"
+	"prosper/internal/sim"
+	"prosper/internal/vm"
+)
+
+// DirtybitConfig parameterizes the page-granularity baseline.
+type DirtybitConfig struct {
+	// ScanPerPTE is the OS cost of examining one page-table entry while
+	// collecting dirty pages (LDT-style walk).
+	ScanPerPTE sim.Time
+}
+
+func (c DirtybitConfig) withDefaults() DirtybitConfig {
+	if c.ScanPerPTE == 0 {
+		c.ScanPerPTE = 4
+	}
+	return c
+}
+
+// Dirtybit is the page-level baseline (LDT [45]): the segment lives in
+// DRAM; the hardware page walker sets PTE dirty bits; the OS walks the
+// segment's PTEs at checkpoint end, copies whole dirty pages through the
+// same two-step NVM path, clears the dirty bits, and invalidates TLBs so
+// the next interval's first store per page walks again.
+type Dirtybit struct {
+	base
+	cfg DirtybitConfig
+}
+
+// NewDirtybit returns a factory for the Dirtybit mechanism.
+func NewDirtybit(cfg DirtybitConfig) Factory {
+	return func() Mechanism { return &Dirtybit{cfg: cfg.withDefaults()} }
+}
+
+// Name implements Mechanism.
+func (d *Dirtybit) Name() string { return "dirtybit" }
+
+// PlaceInNVM implements Mechanism.
+func (d *Dirtybit) PlaceInNVM() bool { return false }
+
+// Attach implements Mechanism.
+func (d *Dirtybit) Attach(env *Env, seg Segment) { d.attach(env, seg) }
+
+// OnStore implements Mechanism: the page walker does the tracking.
+func (d *Dirtybit) OnStore(core *machine.Core, vaddr, paddr uint64, size int) sim.Time { return 0 }
+
+// OnScheduleIn implements Mechanism.
+func (d *Dirtybit) OnScheduleIn(core *machine.Core, done func()) { done() }
+
+// OnScheduleOut implements Mechanism.
+func (d *Dirtybit) OnScheduleOut(core *machine.Core, done func()) { done() }
+
+// BeginInterval implements Mechanism: clear D bits and TLB cached state.
+func (d *Dirtybit) BeginInterval() {
+	d.env.AS.PT.ClearFlagsRange(d.seg.Lo, d.seg.Hi, vm.FlagDirty)
+	for _, c := range d.env.Mach.Cores {
+		c.TLB.InvalidateRange(d.seg.Lo, d.seg.Hi)
+	}
+}
+
+// Checkpoint implements Mechanism: walk the segment's PTEs, copy dirty
+// pages, clear for the next interval.
+func (d *Dirtybit) Checkpoint(done func(Result)) {
+	var extents []extent
+	var scanned uint64
+	d.env.AS.PT.VisitRange(d.seg.Lo, d.seg.Hi, func(va uint64, pte *vm.PTE) {
+		scanned++
+		if pte.Dirty() {
+			// Whole page: page-granularity tracking cannot do better.
+			if n := len(extents); n > 0 && extents[n-1].off+extents[n-1].size == va-d.seg.Lo {
+				extents[n-1].size += mem.PageSize
+			} else {
+				extents = append(extents, extent{off: va - d.seg.Lo, size: mem.PageSize})
+			}
+			pte.Flags &^= vm.FlagDirty
+		}
+	})
+	for _, c := range d.env.Mach.Cores {
+		c.TLB.InvalidateRange(d.seg.Lo, d.seg.Hi)
+	}
+	d.Counters.Add("dirtybit.ckpt_ptes_scanned", scanned)
+	// Charge the PTE walk: the entries live in page-table node frames;
+	// approximate their footprint as scanned*8 bytes of sequential reads.
+	timedScan(d.env.Mach, d.seg.ImageBase, scanned*8, scanned, d.cfg.ScanPerPTE, func() {
+		d.persistExtents(extents, func(r Result) {
+			r.MetaScanned = scanned
+			done(r)
+		})
+	})
+}
+
+// Recover implements Mechanism.
+func (d *Dirtybit) Recover(done func()) { d.recoverImage(done) }
+
+// WriteProtect is the write-protection-based tracker (SoftDirty [18]):
+// identical to Dirtybit at checkpoint time, but tracking is implemented
+// by dropping write permission at interval start so the first store to
+// each page takes a full page fault (the overhead LDT showed this scheme
+// suffers).
+type WriteProtect struct {
+	Dirtybit
+}
+
+// NewWriteProtect returns a factory for the write-protection tracker.
+func NewWriteProtect(cfg DirtybitConfig) Factory {
+	return func() Mechanism {
+		w := &WriteProtect{}
+		w.cfg = cfg.withDefaults()
+		return w
+	}
+}
+
+// Name implements Mechanism.
+func (w *WriteProtect) Name() string { return "writeprotect" }
+
+// BeginInterval implements Mechanism: drop write permission so stores
+// fault; the fault handler restores FlagWrite and sets FlagDirty.
+func (w *WriteProtect) BeginInterval() {
+	w.env.AS.PT.ClearFlagsRange(w.seg.Lo, w.seg.Hi, vm.FlagWrite|vm.FlagDirty)
+	for _, c := range w.env.Mach.Cores {
+		c.TLB.InvalidateRange(w.seg.Lo, w.seg.Hi)
+	}
+}

@@ -1,0 +1,44 @@
+package persist
+
+import (
+	"prosper/internal/machine"
+	"prosper/internal/sim"
+)
+
+// None is the no-persistence baseline every experiment normalizes
+// against: the segment lives in DRAM and checkpoints copy nothing.
+type None struct {
+	base
+}
+
+// NewNone returns a factory for the baseline.
+func NewNone() Factory { return func() Mechanism { return &None{} } }
+
+// Name implements Mechanism.
+func (n *None) Name() string { return "none" }
+
+// PlaceInNVM implements Mechanism.
+func (n *None) PlaceInNVM() bool { return false }
+
+// Attach implements Mechanism.
+func (n *None) Attach(env *Env, seg Segment) { n.attach(env, seg) }
+
+// OnStore implements Mechanism.
+func (n *None) OnStore(core *machine.Core, vaddr, paddr uint64, size int) sim.Time { return 0 }
+
+// OnScheduleIn implements Mechanism.
+func (n *None) OnScheduleIn(core *machine.Core, done func()) { done() }
+
+// OnScheduleOut implements Mechanism.
+func (n *None) OnScheduleOut(core *machine.Core, done func()) { done() }
+
+// BeginInterval implements Mechanism.
+func (n *None) BeginInterval() {}
+
+// Checkpoint implements Mechanism.
+func (n *None) Checkpoint(done func(Result)) {
+	n.env.Eng().Schedule(0, func() { done(Result{}) })
+}
+
+// Recover implements Mechanism.
+func (n *None) Recover(done func()) { n.env.Eng().Schedule(0, done) }

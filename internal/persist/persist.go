@@ -1,0 +1,443 @@
+// Package persist implements the memory-persistence mechanisms the paper
+// evaluates and compares: the Prosper checkpoint mechanism (adapting the
+// internal/prosper hardware tracker to the OS checkpoint flow), the
+// page-granularity Dirtybit baseline (LDT-style), a write-protection
+// tracker (SoftDirty-style), Romulus (twin-copy with hardware-logged
+// stack modifications), and SSP (sub-page shadow paging with a background
+// consolidation thread).
+//
+// A Mechanism persists one memory segment (a thread's stack or a
+// process's heap). The kernel attaches mechanisms to segments, routes
+// store notifications to them, sequences their checkpoint steps at every
+// consistency interval, and drives their recovery path after a crash.
+package persist
+
+import (
+	"encoding/binary"
+
+	"prosper/internal/machine"
+	"prosper/internal/mem"
+	"prosper/internal/prosper"
+	"prosper/internal/sim"
+	"prosper/internal/stats"
+	"prosper/internal/vm"
+)
+
+// Env is the hardware/OS environment mechanisms operate in.
+type Env struct {
+	Mach *machine.Machine
+	AS   *vm.AddressSpace
+	// Trackers are the per-core Prosper dirty trackers (nil when the
+	// machine is built without them).
+	Trackers []*prosper.Tracker
+}
+
+// Eng returns the simulation engine.
+func (e *Env) Eng() *sim.Engine { return e.Mach.Eng }
+
+// Segment describes the memory region a mechanism persists, plus the NVM
+// areas the kernel assigned to it.
+type Segment struct {
+	Lo, Hi uint64     // virtual range
+	Kind   vm.VMAKind // stack or heap
+
+	// ImageBase is a physically contiguous NVM area of (Hi-Lo) bytes
+	// holding the persistent image (or backup copy for Romulus).
+	ImageBase uint64
+	// MetaBase/MetaSize is a physically contiguous NVM area for commit
+	// records, temp buffers, and logs.
+	MetaBase uint64
+	MetaSize uint64
+}
+
+// Size returns the segment length.
+func (s Segment) Size() uint64 { return s.Hi - s.Lo }
+
+// Result reports one checkpoint of one segment.
+type Result struct {
+	BytesCopied uint64 // dirty payload persisted
+	Ranges      uint64 // contiguous extents copied
+	MetaScanned uint64 // metadata units inspected (bitmap words or PTEs)
+}
+
+// Mechanism persists one segment across consistency intervals.
+type Mechanism interface {
+	Name() string
+	// PlaceInNVM reports whether the segment's working pages must be
+	// allocated from NVM (shadow-paging and twin-copy schemes) rather
+	// than DRAM (checkpointing schemes).
+	PlaceInNVM() bool
+	// Attach binds the mechanism to its environment and segment. Called
+	// once, before any store reaches the segment.
+	Attach(env *Env, seg Segment)
+	// OnStore observes one store into the segment (post-translation) and
+	// returns any stall the store pipeline must absorb before the store
+	// retires (zero for mechanisms that track out of the critical path).
+	OnStore(core *machine.Core, vaddr, paddr uint64, size int) sim.Time
+	// OnScheduleIn/OnScheduleOut bracket the owning thread's placement on
+	// a core (context switches and checkpoint pauses). done fires when
+	// the mechanism's hardware state is ready/quiescent.
+	OnScheduleIn(core *machine.Core, done func())
+	OnScheduleOut(core *machine.Core, done func())
+	// BeginInterval resets tracking state for a new consistency interval.
+	BeginInterval()
+	// Checkpoint persists the interval's modifications to NVM; done fires
+	// when the data is durable (commit record written).
+	Checkpoint(done func(Result))
+	// Recover rebuilds the segment's volatile state from NVM after a
+	// crash (for DRAM-resident segments: copy the image back; for
+	// NVM-resident segments: repair in place). done fires when complete.
+	Recover(done func())
+}
+
+// Factory builds a fresh mechanism instance (one per segment).
+type Factory func() Mechanism
+
+// base carries the fields every mechanism shares.
+type base struct {
+	env *Env
+	seg Segment
+	seq uint64
+
+	// applying is true while a previous checkpoint's step 2 (temp ->
+	// image) is still draining in the background; the next checkpoint
+	// must wait before reusing the temp buffer.
+	applying     bool
+	applyWaiters []func()
+
+	Counters *stats.Counters
+}
+
+func (b *base) attach(env *Env, seg Segment) {
+	b.env = env
+	b.seg = seg
+	b.Counters = stats.NewCounters()
+}
+
+// --- shared checkpoint plumbing -------------------------------------------
+
+// Commit-record phases stored in the first meta word.
+const (
+	phaseEmpty     = uint64(0)
+	phaseTempValid = uint64(1) // temp buffer complete, apply may be partial
+	phaseApplied   = uint64(2) // image consistent with checkpoint seq
+)
+
+// Meta layout (all offsets from Segment.MetaBase):
+//
+//	0	phase
+//	8	seq
+//	16	entry count
+//	24	total payload bytes
+//	32	minimum persisted offset ever (image extent low-water mark)
+//	64	entry table: {offset uint64, size uint64} per entry
+//	…	payload blob (64-byte aligned after the entry table)
+const (
+	metaPhase   = 0
+	metaSeq     = 8
+	metaCount   = 16
+	metaBytes   = 24
+	metaMinOff  = 32
+	metaEntries = 64
+)
+
+type extent struct {
+	off  uint64 // offset within the segment
+	size uint64
+}
+
+// persistExtents runs the paper's two-step stack update for a set of
+// dirty extents of a DRAM-resident segment:
+//
+//  1. copy each extent's bytes (and an entry table) into the temp buffer
+//     in NVM and write a commit record marking the temp valid — this is
+//     the durability point, after which done fires and the application
+//     may resume;
+//  2. apply the temp buffer onto the persistent image in NVM and mark the
+//     record applied — a redo that runs in the background; the next
+//     checkpoint waits for it before reusing the temp buffer.
+//
+// A crash before step 1's commit loses at most the current interval; a
+// crash during (or before) step 2 is repaired by re-applying the
+// (idempotent) temp buffer at recovery.
+func (b *base) persistExtents(extents []extent, done func(Result)) {
+	if b.applying {
+		// Previous apply still draining (only possible under extreme
+		// interval compression): serialize behind it.
+		b.Counters.Inc("persist.apply_backpressure")
+		b.applyWaiters = append(b.applyWaiters, func() { b.persistExtents(extents, done) })
+		return
+	}
+	var res Result
+	res.Ranges = uint64(len(extents))
+	b.seq++
+	seq := b.seq
+	m := b.env.Mach
+
+	if len(extents) == 0 {
+		// Nothing dirty: still write a commit record so recovery can see
+		// the checkpoint happened.
+		hdr := b.makeHeader(phaseApplied, seq, 0, 0)
+		m.WritePhys(b.seg.MetaBase, hdr, func() { done(res) })
+		return
+	}
+
+	entryBytes := uint64(len(extents)) * 16
+	dataBase := b.seg.MetaBase + metaEntries + ((entryBytes + 63) &^ 63)
+
+	// Step 1a: entry table.
+	table := make([]byte, entryBytes)
+	var total uint64
+	for i, e := range extents {
+		binary.LittleEndian.PutUint64(table[i*16:], e.off)
+		binary.LittleEndian.PutUint64(table[i*16+8:], e.size)
+		total += e.size
+	}
+	res.BytesCopied = total
+	if dataBase+total > b.seg.MetaBase+b.seg.MetaSize {
+		panic("persist: temp buffer overflow — meta area too small")
+	}
+
+	// Step 1b: gather the payload into the temp blob. The sources are
+	// scattered DRAM lines (timed reads); the temp blob is contiguous
+	// NVM, written as one streaming burst.
+	cursor := dataBase
+	var srcLines []uint64
+	for _, e := range extents {
+		vaddr := b.seg.Lo + e.off
+		remaining := e.size
+		for remaining > 0 {
+			paddr, _, ok := b.env.AS.PT.Translate(vaddr)
+			if !ok {
+				panic("persist: dirty extent not mapped")
+			}
+			n := mem.PageSize - (vaddr & (mem.PageSize - 1))
+			if n > remaining {
+				n = remaining
+			}
+			m.Storage.Copy(cursor, paddr, int(n)) // functional gather
+			for l := mem.LineOf(paddr); l <= mem.LineOf(paddr+n-1); l += mem.LineSize {
+				srcLines = append(srcLines, l)
+			}
+			cursor += n
+			vaddr += n
+			remaining -= n
+		}
+	}
+	pending := 3 // source reads + blob write + entry table write
+	commit := func() {
+		pending--
+		if pending != 0 {
+			return
+		}
+		// Step 1c: commit record (temp valid). The low-water mark must be
+		// updated before the header snapshot reads it back.
+		minOff := extents[0].off
+		for _, e := range extents {
+			if e.off < minOff {
+				minOff = e.off
+			}
+		}
+		b.updateMinOff(minOff)
+		hdr := b.makeHeader(phaseTempValid, seq, uint64(len(extents)), total)
+		m.WritePhys(b.seg.MetaBase, hdr, func() {
+			// Durability point: release the caller, then run step 2 in
+			// the background.
+			b.applying = true
+			done(res)
+			b.applyAsync(seq, uint64(len(extents)), total, dataBase, extents)
+		})
+	}
+	// Timed traffic for the gather: scattered DRAM reads of the sources
+	// (pipelined) and a contiguous NVM write of the blob.
+	readPhysLines(m, srcLines, commit)
+	m.WritePhys(b.seg.MetaBase+metaEntries, table, commit)
+	// The functional blob is already in place; issue the timed burst.
+	writePhysRange(m, dataBase, total, commit)
+}
+
+// applyAsync is step 2: redo the temp buffer onto the image.
+func (b *base) applyAsync(seq, count, total uint64, dataBase uint64, extents []extent) {
+	m := b.env.Mach
+	applyPending := len(extents)
+	cursor := dataBase
+	finish := func() {
+		hdr2 := b.makeHeader(phaseApplied, seq, count, total)
+		m.WritePhys(b.seg.MetaBase, hdr2, func() {
+			b.applying = false
+			waiters := b.applyWaiters
+			b.applyWaiters = nil
+			for _, w := range waiters {
+				w()
+			}
+		})
+	}
+	if applyPending == 0 {
+		finish()
+		return
+	}
+	for _, e := range extents {
+		m.CopyPhys(b.seg.ImageBase+e.off, cursor, int(e.size), func() {
+			applyPending--
+			if applyPending == 0 {
+				finish()
+			}
+		})
+		cursor += e.size
+	}
+}
+
+// readPhysLines issues pipelined timed reads of the given line addresses
+// (used to charge scattered source gathers).
+func readPhysLines(m *machine.Machine, lines []uint64, done func()) {
+	n := len(lines)
+	if n == 0 {
+		m.Eng.Schedule(0, done)
+		return
+	}
+	const window = 16
+	issued, completed, inFlight := 0, 0, 0
+	var pump func()
+	pump = func() {
+		for inFlight < window && issued < n {
+			addr := lines[issued]
+			issued++
+			inFlight++
+			m.Ctl.Access(false, addr, func() {
+				inFlight--
+				completed++
+				if completed == n {
+					done()
+					return
+				}
+				pump()
+			})
+		}
+	}
+	pump()
+}
+
+// writePhysRange issues the timed line writes covering [base, base+n)
+// without re-writing functional storage (already gathered).
+func writePhysRange(m *machine.Machine, base uint64, n uint64, done func()) {
+	lines := mem.LinesSpanned(base, int(n))
+	if lines == 0 {
+		m.Eng.Schedule(0, done)
+		return
+	}
+	remaining := lines
+	for i := 0; i < lines; i++ {
+		m.Ctl.Access(true, mem.LineOf(base)+uint64(i)*mem.LineSize, func() {
+			remaining--
+			if remaining == 0 {
+				done()
+			}
+		})
+	}
+}
+
+// makeHeader builds the 64-byte commit record, preserving the image
+// extent low-water mark already in NVM.
+func (b *base) makeHeader(phase, seq, count, total uint64) []byte {
+	hdr := make([]byte, 64)
+	binary.LittleEndian.PutUint64(hdr[metaPhase:], phase)
+	binary.LittleEndian.PutUint64(hdr[metaSeq:], seq)
+	binary.LittleEndian.PutUint64(hdr[metaCount:], count)
+	binary.LittleEndian.PutUint64(hdr[metaBytes:], total)
+	binary.LittleEndian.PutUint64(hdr[metaMinOff:], b.env.Mach.Storage.ReadU64(b.seg.MetaBase+metaMinOff))
+	return hdr
+}
+
+func (b *base) updateMinOff(off uint64) {
+	st := b.env.Mach.Storage
+	cur := st.ReadU64(b.seg.MetaBase + metaMinOff)
+	if cur == 0 {
+		// 0 doubles as "never persisted"; store off+1 to disambiguate.
+		st.WriteU64(b.seg.MetaBase+metaMinOff, off+1)
+		return
+	}
+	if off+1 < cur {
+		st.WriteU64(b.seg.MetaBase+metaMinOff, off+1)
+	}
+}
+
+// recoverImage restores a DRAM-resident segment from its NVM image:
+// re-apply a valid-but-unapplied temp buffer, then copy the persisted
+// extent of the image back into freshly mapped DRAM pages.
+func (b *base) recoverImage(done func()) {
+	st := b.env.Mach.Storage
+	phase := st.ReadU64(b.seg.MetaBase + metaPhase)
+	minOffPlus1 := st.ReadU64(b.seg.MetaBase + metaMinOff)
+	if minOffPlus1 == 0 {
+		// Never checkpointed anything.
+		b.env.Eng().Schedule(0, done)
+		return
+	}
+	minOff := minOffPlus1 - 1
+
+	finishCopyBack := func() {
+		// Map the recovered extent and copy image -> DRAM.
+		lo := b.seg.Lo + (minOff &^ (mem.PageSize - 1))
+		b.env.AS.EnsureRange(lo, b.seg.Hi)
+		pending := 0
+		fired := false
+		complete := func() {
+			pending--
+			if pending == 0 && fired {
+				done()
+			}
+		}
+		for va := lo; va < b.seg.Hi; va += mem.PageSize {
+			paddr, _, ok := b.env.AS.PT.Translate(va)
+			if !ok {
+				panic("persist: recovery mapping failed")
+			}
+			pending++
+			b.env.Mach.CopyPhys(paddr, b.seg.ImageBase+(va-b.seg.Lo), mem.PageSize, complete)
+		}
+		fired = true
+		if pending == 0 {
+			b.env.Eng().Schedule(0, done)
+		}
+	}
+
+	if phase == phaseTempValid {
+		// Crash during apply: redo temp -> image (idempotent).
+		count := st.ReadU64(b.seg.MetaBase + metaCount)
+		entryBytes := count * 16
+		dataBase := b.seg.MetaBase + metaEntries + ((entryBytes + 63) &^ 63)
+		pending := int(count)
+		if pending == 0 {
+			finishCopyBack()
+			return
+		}
+		cursor := dataBase
+		for i := uint64(0); i < count; i++ {
+			off := st.ReadU64(b.seg.MetaBase + metaEntries + i*16)
+			size := st.ReadU64(b.seg.MetaBase + metaEntries + i*16 + 8)
+			b.env.Mach.CopyPhys(b.seg.ImageBase+off, cursor, int(size), func() {
+				pending--
+				if pending == 0 {
+					finishCopyBack()
+				}
+			})
+			cursor += size
+		}
+		return
+	}
+	finishCopyBack()
+}
+
+// timedScan charges the CPU+memory cost of scanning n metadata units that
+// occupy the given physical range (bitmap words, PTE cachelines): a
+// pipelined read of the underlying lines plus perUnit cycles of CPU work.
+func timedScan(m *machine.Machine, physBase uint64, bytes uint64, n uint64, perUnit sim.Time, done func()) {
+	cpu := sim.Time(n) * perUnit
+	if bytes == 0 {
+		m.Eng.Schedule(cpu, done)
+		return
+	}
+	m.ReadPhys(physBase, int(bytes), func([]byte) {
+		m.Eng.Schedule(cpu, done)
+	})
+}

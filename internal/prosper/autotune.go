@@ -1,0 +1,78 @@
+package prosper
+
+// AutoTuner implements the dynamic HWM/LWM scheme the paper leaves as
+// future work (Section V: "a dynamic scheme based on the access pattern
+// is left as a future direction"). The OS calls Adjust at every interval
+// boundary; the tuner reads the tracker's counters for the elapsed
+// interval and steers the thresholds:
+//
+//   - When HWM writebacks dominate evictions, the workload has spatial
+//     locality: raising the HWM lets entries coalesce longer (SSSP's
+//     trend in Figure 13a).
+//   - When evictions dominate, the table is churning on a scattered
+//     working set: lowering the HWM frees slots proactively (mcf's
+//     trend in Figure 13c).
+//   - When random evictions outnumber LWM evictions, the LWM is too
+//     strict to find victims: raising it makes more entries eligible
+//     (mcf benefits from more evictions, Figure 13d).
+type AutoTuner struct {
+	tracker *Tracker
+
+	MinHWM, MaxHWM int
+	MinLWM, MaxLWM int
+
+	lastHWMWB    uint64
+	lastEvict    uint64
+	lastRandEv   uint64
+	lastLWMEvict uint64
+
+	Adjustments int
+}
+
+// NewAutoTuner wraps a tracker with default bounds (HWM 8..30, LWM 2..12).
+func NewAutoTuner(tr *Tracker) *AutoTuner {
+	return &AutoTuner{tracker: tr, MinHWM: 8, MaxHWM: 30, MinLWM: 2, MaxLWM: 12}
+}
+
+// Thresholds returns the tracker's current settings.
+func (a *AutoTuner) Thresholds() (hwm, lwm int) {
+	return a.tracker.cfg.HWM, a.tracker.cfg.LWM
+}
+
+// Adjust reads the interval's counter deltas and steers the thresholds.
+// It must be called at an interval boundary (table flushed).
+func (a *AutoTuner) Adjust() {
+	c := a.tracker.Counters
+	hwmWB := c.Get("prosper.hwm_writebacks") - a.lastHWMWB
+	evict := c.Get("prosper.evictions") - a.lastEvict
+	randEv := c.Get("prosper.random_evictions") - a.lastRandEv
+	lwmEv := c.Get("prosper.lwm_evictions") - a.lastLWMEvict
+	a.lastHWMWB = c.Get("prosper.hwm_writebacks")
+	a.lastEvict = c.Get("prosper.evictions")
+	a.lastRandEv = c.Get("prosper.random_evictions")
+	a.lastLWMEvict = c.Get("prosper.lwm_evictions")
+
+	cfg := &a.tracker.cfg
+	switch {
+	case hwmWB > 2*evict && cfg.HWM < a.MaxHWM:
+		cfg.HWM += 4
+		if cfg.HWM > a.MaxHWM {
+			cfg.HWM = a.MaxHWM
+		}
+		a.Adjustments++
+	case evict > 2*hwmWB && evict > 0 && cfg.HWM > a.MinHWM:
+		cfg.HWM -= 4
+		if cfg.HWM < a.MinHWM {
+			cfg.HWM = a.MinHWM
+		}
+		a.Adjustments++
+	}
+	// The LWM only ever rises: random evictions mean the policy cannot
+	// find victims, so more entries must become eligible. LWM evictions
+	// dominating is the healthy state, not a signal to tighten — a
+	// tighten rule would oscillate against the raise rule.
+	if randEv > lwmEv && randEv > 0 && cfg.LWM < a.MaxLWM {
+		cfg.LWM += 2
+		a.Adjustments++
+	}
+}

@@ -1,0 +1,140 @@
+package prosper
+
+import "testing"
+
+// localityPattern writes runs of adjacent granules: entries fill up and
+// hit the HWM (SSSP-like spatial locality).
+func localityPattern(tr *Tracker, eng interface{ Run() }, rounds int) {
+	for r := 0; r < rounds; r++ {
+		for word := 0; word < 8; word++ {
+			base := tStackLo + uint64(word)*256
+			for g := 0; g < 28; g++ {
+				tr.ObserveStore(base+uint64(g)*8, 8)
+			}
+		}
+		eng.Run()
+	}
+}
+
+// scatterPattern touches one granule in each of many word-regions,
+// exceeding the table (mcf-like).
+func scatterPattern(tr *Tracker, eng interface{ Run() }, rounds int) {
+	for r := 0; r < rounds; r++ {
+		for region := 0; region < 48; region++ {
+			tr.ObserveStore(tStackLo+uint64(region)*256+uint64(r%8)*32, 8)
+		}
+		eng.Run()
+	}
+}
+
+func TestAutoTunerRaisesHWMForLocality(t *testing.T) {
+	tr, _, _, eng := newTestTracker(Config{HWM: 12, LWM: 4})
+	tuner := NewAutoTuner(tr)
+	for i := 0; i < 6; i++ {
+		localityPattern(tr, eng, 4)
+		tr.FlushAndWait(func() {})
+		eng.Run()
+		tuner.Adjust()
+		tr.ResetInterval()
+	}
+	hwm, _ := tuner.Thresholds()
+	if hwm <= 12 {
+		t.Fatalf("HWM = %d, expected raise for locality pattern", hwm)
+	}
+	if tuner.Adjustments == 0 {
+		t.Fatal("no adjustments made")
+	}
+}
+
+func TestAutoTunerLowersHWMForScatter(t *testing.T) {
+	tr, _, _, eng := newTestTracker(Config{HWM: 24, LWM: 2})
+	tuner := NewAutoTuner(tr)
+	for i := 0; i < 6; i++ {
+		scatterPattern(tr, eng, 6)
+		tr.FlushAndWait(func() {})
+		eng.Run()
+		tuner.Adjust()
+		tr.ResetInterval()
+	}
+	hwm, _ := tuner.Thresholds()
+	if hwm >= 24 {
+		t.Fatalf("HWM = %d, expected drop for scatter pattern", hwm)
+	}
+}
+
+func TestAutoTunerRaisesLWMOnRandomEvictions(t *testing.T) {
+	// LWM=1 means no entry is ever below the watermark -> every eviction
+	// is random -> the tuner must raise the LWM.
+	tr, _, _, eng := newTestTracker(Config{HWM: 30, LWM: 1})
+	tuner := NewAutoTuner(tr)
+	for i := 0; i < 4; i++ {
+		scatterPattern(tr, eng, 6)
+		tr.FlushAndWait(func() {})
+		eng.Run()
+		tuner.Adjust()
+		tr.ResetInterval()
+	}
+	_, lwm := tuner.Thresholds()
+	if lwm <= 1 {
+		t.Fatalf("LWM = %d, expected raise when evictions are random", lwm)
+	}
+}
+
+func TestAutoTunerRespectsBounds(t *testing.T) {
+	tr, _, _, eng := newTestTracker(Config{HWM: 28, LWM: 12})
+	tuner := NewAutoTuner(tr)
+	for i := 0; i < 20; i++ {
+		localityPattern(tr, eng, 3)
+		tr.FlushAndWait(func() {})
+		eng.Run()
+		tuner.Adjust()
+		tr.ResetInterval()
+	}
+	hwm, lwm := tuner.Thresholds()
+	if hwm > tuner.MaxHWM || lwm > tuner.MaxLWM {
+		t.Fatalf("thresholds out of bounds: hwm=%d lwm=%d", hwm, lwm)
+	}
+}
+
+func TestAutoTunerIdleIntervalNoChange(t *testing.T) {
+	tr, _, _, _ := newTestTracker(Config{})
+	tuner := NewAutoTuner(tr)
+	before, lb := tuner.Thresholds()
+	tuner.Adjust()
+	after, la := tuner.Thresholds()
+	if before != after || lb != la {
+		t.Fatal("idle interval changed thresholds")
+	}
+}
+
+// The tuner must actually reduce bitmap traffic for the locality pattern
+// versus the starting configuration.
+func TestAutoTunerReducesTrafficForLocality(t *testing.T) {
+	measure := func(tune bool) uint64 {
+		tr, _, _, eng := newTestTracker(Config{HWM: 10, LWM: 4})
+		tuner := NewAutoTuner(tr)
+		// Warm phase lets the tuner converge.
+		for i := 0; i < 6; i++ {
+			localityPattern(tr, eng, 2)
+			tr.FlushAndWait(func() {})
+			eng.Run()
+			if tune {
+				tuner.Adjust()
+			}
+			tr.ResetInterval()
+		}
+		start := tr.Counters.Get("prosper.bitmap_loads")
+		for i := 0; i < 4; i++ {
+			localityPattern(tr, eng, 2)
+			tr.FlushAndWait(func() {})
+			eng.Run()
+			tr.ResetInterval()
+		}
+		return tr.Counters.Get("prosper.bitmap_loads") - start
+	}
+	fixed := measure(false)
+	tuned := measure(true)
+	if tuned >= fixed {
+		t.Fatalf("autotuned loads (%d) should be below fixed (%d) for locality", tuned, fixed)
+	}
+}

@@ -1,0 +1,97 @@
+package prosper
+
+import (
+	"math/bits"
+
+	"prosper/internal/mem"
+)
+
+// Range is one contiguous dirty extent of the tracked region, produced by
+// bitmap inspection with coalescing.
+type Range struct {
+	Addr uint64 // virtual address of the first dirty byte
+	Size uint64 // length in bytes (multiple of the granularity)
+}
+
+// InspectResult summarizes one bitmap inspection pass.
+type InspectResult struct {
+	Ranges     []Range
+	DirtyBytes uint64 // total dirty payload (sum of range sizes)
+	WordsRead  uint64 // bitmap words the OS had to examine
+	WordsSet   uint64 // words with at least one bit set
+}
+
+// Inspect scans the bitmap for the tracked range [msrs.StackLo,
+// msrs.StackHi) restricted to the touched window [winLo, winHi) the
+// hardware reported, coalescing adjacent set bits into ranges (the OS
+// looks for coalescing opportunities within every eight bytes of bitmap,
+// which the word-at-a-time scan with cross-word merging subsumes).
+func Inspect(storage *mem.Storage, msrs MSRs, winLo, winHi uint64, any bool) InspectResult {
+	var res InspectResult
+	if !any || winLo >= winHi {
+		return res
+	}
+	firstWord := ((winLo - msrs.StackLo) / msrs.Gran) / 32
+	lastWord := ((winHi - 1 - msrs.StackLo) / msrs.Gran) / 32
+
+	var open bool
+	var start, end uint64 // open range in granule units
+	flush := func() {
+		if !open {
+			return
+		}
+		addr := msrs.StackLo + start*msrs.Gran
+		size := (end - start + 1) * msrs.Gran
+		if addr+size > msrs.StackHi {
+			size = msrs.StackHi - addr
+		}
+		res.Ranges = append(res.Ranges, Range{Addr: addr, Size: size})
+		res.DirtyBytes += size
+		open = false
+	}
+	for w := firstWord; w <= lastWord; w++ {
+		res.WordsRead++
+		word := storage.ReadU32(msrs.BitmapBase + w*4)
+		if word == 0 {
+			flush()
+			continue
+		}
+		res.WordsSet++
+		for word != 0 {
+			b := uint64(bits.TrailingZeros32(word))
+			g := w*32 + b
+			// Clear the contiguous run of set bits starting at b.
+			run := uint64(bits.TrailingZeros32(^(word >> b)))
+			word &= ^(((1 << run) - 1) << b)
+			if open && g == end+1 {
+				end = g + run - 1
+				continue
+			}
+			flush()
+			open = true
+			start, end = g, g+run-1
+		}
+	}
+	flush()
+	return res
+}
+
+// Clear zeroes the bitmap words covering the touched window, the OS's
+// preparation for the next interval. It returns how many words were
+// written.
+func Clear(storage *mem.Storage, msrs MSRs, winLo, winHi uint64, any bool) uint64 {
+	if !any || winLo >= winHi {
+		return 0
+	}
+	firstWord := ((winLo - msrs.StackLo) / msrs.Gran) / 32
+	lastWord := ((winHi - 1 - msrs.StackLo) / msrs.Gran) / 32
+	var written uint64
+	for w := firstWord; w <= lastWord; w++ {
+		addr := msrs.BitmapBase + w*4
+		if storage.ReadU32(addr) != 0 {
+			storage.WriteU32(addr, 0)
+			written++
+		}
+	}
+	return written
+}

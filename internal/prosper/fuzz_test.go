@@ -1,0 +1,67 @@
+package prosper
+
+import (
+	"testing"
+
+	"prosper/internal/mem"
+)
+
+// FuzzInspectClear drives the OS-side bitmap inspection with arbitrary
+// bitmap contents and windows: Inspect must never panic, its ranges must
+// stay inside the tracked region and cover exactly the set bits, and
+// Clear must zero precisely the inspected window.
+func FuzzInspectClear(f *testing.F) {
+	f.Add([]byte{0xff, 0, 0, 0}, uint16(0), uint16(512))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint16(8), uint16(64))
+	f.Fuzz(func(t *testing.T, bitmap []byte, winLoOff, winHiOff uint16) {
+		const gran = 8
+		rangeBytes := uint64(64 << 10)
+		msrs := MSRs{
+			StackLo:    0x7000_0000,
+			StackHi:    0x7000_0000 + rangeBytes,
+			BitmapBase: 0x10_0000,
+			Gran:       gran,
+		}
+		if len(bitmap) > int(BitmapBytes(rangeBytes, gran)) {
+			bitmap = bitmap[:BitmapBytes(rangeBytes, gran)]
+		}
+		st := mem.NewStorage()
+		st.Write(msrs.BitmapBase, bitmap)
+
+		winLo := msrs.StackLo + uint64(winLoOff)%rangeBytes
+		winHi := msrs.StackLo + uint64(winHiOff)%rangeBytes
+		if winLo > winHi {
+			winLo, winHi = winHi, winLo
+		}
+		if winHi == winLo {
+			winHi = winLo + 1
+		}
+		res := Inspect(st, msrs, winLo, winHi, true)
+		var covered uint64
+		for _, r := range res.Ranges {
+			if r.Addr < msrs.StackLo || r.Addr+r.Size > msrs.StackHi {
+				t.Fatalf("range [%#x+%d] escapes the tracked region", r.Addr, r.Size)
+			}
+			if r.Size == 0 || r.Size%gran != 0 {
+				t.Fatalf("range size %d not granule aligned", r.Size)
+			}
+			covered += r.Size
+			// Every granule in the range must have its bit set.
+			for g := (r.Addr - msrs.StackLo) / gran; g < (r.Addr+r.Size-msrs.StackLo)/gran; g++ {
+				word := st.ReadU32(msrs.BitmapBase + (g/32)*4)
+				if word&(1<<(g%32)) == 0 {
+					t.Fatalf("range covers clear granule %d", g)
+				}
+			}
+		}
+		if covered != res.DirtyBytes {
+			t.Fatalf("DirtyBytes %d != covered %d", res.DirtyBytes, covered)
+		}
+		// Clearing the window must leave no set bits inside it.
+		Clear(st, msrs, winLo, winHi, true)
+		res2 := Inspect(st, msrs, winLo, winHi, true)
+		if res2.DirtyBytes != 0 {
+			t.Fatalf("bits survived Clear: %d bytes", res2.DirtyBytes)
+		}
+	})
+}

@@ -1,0 +1,171 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that drives every timing component in the repository: cores, caches,
+// memory devices, the Prosper dirty tracker, kernel timers, and background
+// persistence threads.
+//
+// The engine is single-threaded and fully deterministic: events scheduled
+// for the same cycle fire in the order they were scheduled (FIFO), and all
+// randomness in the simulator flows from explicitly seeded sources
+// (see Rand). Re-running a configuration always reproduces the same cycle
+// counts and statistics.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp in CPU cycles. The simulated machine runs
+// at Frequency cycles per second, so wall-clock intervals convert via
+// Millisecond and friends.
+type Time = int64
+
+// Frequency is the simulated core clock in cycles per second (3 GHz,
+// matching Table II of the paper).
+const Frequency = 3_000_000_000
+
+// Convenient durations expressed in cycles at Frequency.
+const (
+	Nanosecond  Time = 3 // 3 cycles per ns at 3 GHz
+	Microsecond Time = 3_000
+	Millisecond Time = 3_000_000
+	Second      Time = Frequency
+)
+
+// event is a scheduled callback. seq breaks ties among events with equal
+// timestamps so ordering is deterministic FIFO.
+type event struct {
+	when Time
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event scheduler. The zero value is ready to use.
+type Engine struct {
+	queue eventHeap
+	now   Time
+	seq   uint64
+	fired uint64
+}
+
+// NewEngine returns an empty engine at cycle zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time in cycles.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the total number of events executed so far, useful as a
+// progress and determinism check.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn delay cycles from now. A negative delay panics: the
+// simulator never travels backwards.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at the absolute cycle t, which must not be in the past.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
+	}
+	heap.Push(&e.queue, event{when: t, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// Step executes the single earliest pending event and returns true, or
+// returns false if the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.when
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, leaving later
+// events queued. The clock is left at min(deadline, last fired event);
+// it is advanced to deadline so subsequent Schedule calls are relative to
+// the deadline.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 && e.queue[0].when <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunWhile executes events until cond() reports false or the queue drains.
+// cond is evaluated before each event.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.Step() {
+	}
+}
+
+// Ticker invokes fn every period cycles until Stop is called. The first
+// tick fires one period from the time Tick is created.
+type Ticker struct {
+	engine  *Engine
+	period  Time
+	fn      func()
+	stopped bool
+}
+
+// NewTicker schedules fn to run every period cycles. period must be
+// positive.
+func (e *Engine) NewTicker(period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	e.Schedule(period, t.tick)
+	return t
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.engine.Schedule(t.period, t.tick)
+	}
+}
+
+// Stop cancels future ticks. It is safe to call from within fn.
+func (t *Ticker) Stop() { t.stopped = true }

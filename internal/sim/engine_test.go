@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(10, func() { order = append(order, 2) })
+	e.Schedule(5, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 3) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("wrong order: %v", order)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock = %d, want 20", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(7, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("event %d fired out of order (got %d)", i, v)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var rec func()
+	rec = func() {
+		count++
+		if count < 10 {
+			e.Schedule(1, rec)
+		}
+	}
+	e.Schedule(0, rec)
+	e.Run()
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if e.Now() != 9 {
+		t.Fatalf("clock = %d, want 9", e.Now())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(5, func() { fired++ })
+	e.Schedule(15, func() { fired++ })
+	e.RunUntil(10)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock = %d, want 10", e.Now())
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative delay")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestEnginePastSchedulePanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for scheduling in the past")
+		}
+	}()
+	e.At(50, func() {})
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	tk := e.NewTicker(10, func() {
+		ticks++
+	})
+	e.RunUntil(55)
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+	tk.Stop()
+	e.RunUntil(200)
+	if ticks != 5 {
+		t.Fatalf("ticks after stop = %d, want 5", ticks)
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	var tk *Ticker
+	tk = e.NewTicker(3, func() {
+		ticks++
+		if ticks == 4 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if ticks != 4 {
+		t.Fatalf("ticks = %d, want 4", ticks)
+	}
+}
+
+// Property: events always fire in nondecreasing time order and FIFO among
+// equal timestamps, regardless of the insertion order of delays.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) > 256 {
+			delays = delays[:256]
+		}
+		e := NewEngine()
+		type rec struct {
+			when Time
+			seq  int
+		}
+		var fired []rec
+		for i, d := range delays {
+			when := Time(d)
+			i := i
+			e.At(when, func() { fired = append(fired, rec{e.Now(), i}) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].when < fired[i-1].when {
+				return false
+			}
+			if fired[i].when == fired[i-1].when && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seeded sources diverged")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestRandNormalMoments(t *testing.T) {
+	r := NewRand(11)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(63, 20)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if mean < 62 || mean > 64 {
+		t.Fatalf("normal mean = %f, want ~63", mean)
+	}
+	if variance < 350 || variance > 450 {
+		t.Fatalf("normal variance = %f, want ~400", variance)
+	}
+}
+
+func TestRandPoissonMean(t *testing.T) {
+	r := NewRand(13)
+	const n = 100000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += r.Poisson(63)
+	}
+	mean := float64(sum) / n
+	if mean < 62 || mean > 64 {
+		t.Fatalf("poisson mean = %f, want ~63", mean)
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %f", v)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package stats
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// TableJSON is the machine-readable form of a Table, mirroring the role
+// of the paper artifact's stats-parsing scripts: each row becomes a map
+// from header to cell string.
+type TableJSON struct {
+	Title   string              `json:"title"`
+	Headers []string            `json:"headers"`
+	Rows    []map[string]string `json:"rows"`
+}
+
+// JSON converts the table for export.
+func (t *Table) JSON() TableJSON {
+	out := TableJSON{Title: t.Title, Headers: t.Headers}
+	for _, row := range t.rows {
+		m := make(map[string]string, len(row))
+		for i, cell := range row {
+			if i < len(t.Headers) {
+				m[t.Headers[i]] = cell
+			}
+		}
+		out.Rows = append(out.Rows, m)
+	}
+	return out
+}
+
+// WriteJSON encodes the table as indented JSON.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.JSON())
+}

@@ -1,0 +1,38 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tb := NewTable("T", "name", "value")
+	tb.AddRow("a", 1.5)
+	tb.AddRow("b", 42)
+	var buf bytes.Buffer
+	if err := tb.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got TableJSON
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != "T" || len(got.Rows) != 2 {
+		t.Fatalf("decoded: %+v", got)
+	}
+	if got.Rows[0]["name"] != "a" || got.Rows[0]["value"] != "1.5000" {
+		t.Fatalf("row 0: %+v", got.Rows[0])
+	}
+	if got.Rows[1]["value"] != "42" {
+		t.Fatalf("row 1: %+v", got.Rows[1])
+	}
+}
+
+func TestTableJSONEmpty(t *testing.T) {
+	tb := NewTable("empty", "h")
+	j := tb.JSON()
+	if len(j.Rows) != 0 || len(j.Headers) != 1 {
+		t.Fatalf("%+v", j)
+	}
+}

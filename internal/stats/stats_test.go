@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersBasic(t *testing.T) {
+	c := NewCounters()
+	c.Inc("a")
+	c.Add("b", 10)
+	c.Inc("a")
+	if c.Get("a") != 2 {
+		t.Fatalf("a = %d, want 2", c.Get("a"))
+	}
+	if c.Get("b") != 10 {
+		t.Fatalf("b = %d, want 10", c.Get("b"))
+	}
+	if c.Get("missing") != 0 {
+		t.Fatal("missing counter should read zero")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestCountersResetKeepsOrder(t *testing.T) {
+	c := NewCounters()
+	c.Inc("x")
+	c.Inc("y")
+	c.Reset()
+	if c.Get("x") != 0 || c.Get("y") != 0 {
+		t.Fatal("reset did not zero counters")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "x" {
+		t.Fatalf("order lost after reset: %v", names)
+	}
+}
+
+func TestCountersSnapshotIsCopy(t *testing.T) {
+	c := NewCounters()
+	c.Add("a", 5)
+	snap := c.Snapshot()
+	c.Add("a", 5)
+	if snap["a"] != 5 {
+		t.Fatal("snapshot mutated by later Add")
+	}
+}
+
+func TestDistributionMoments(t *testing.T) {
+	var d Distribution
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		d.Observe(v)
+	}
+	if d.N() != 8 {
+		t.Fatalf("N = %d", d.N())
+	}
+	if math.Abs(d.Mean()-5) > 1e-9 {
+		t.Fatalf("mean = %f", d.Mean())
+	}
+	if math.Abs(d.Stddev()-2) > 1e-9 {
+		t.Fatalf("stddev = %f", d.Stddev())
+	}
+	if d.Max() != 9 || d.Min() != 2 {
+		t.Fatalf("min/max = %f/%f", d.Min(), d.Max())
+	}
+}
+
+func TestDistributionEmpty(t *testing.T) {
+	var d Distribution
+	if d.Mean() != 0 || d.Stddev() != 0 || d.Max() != 0 || d.Percentile(50) != 0 {
+		t.Fatal("empty distribution should report zeros")
+	}
+}
+
+func TestDistributionPercentile(t *testing.T) {
+	var d Distribution
+	for i := 1; i <= 100; i++ {
+		d.Observe(float64(i))
+	}
+	if got := d.Percentile(50); got != 50 {
+		t.Fatalf("p50 = %f", got)
+	}
+	if got := d.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %f", got)
+	}
+	if got := d.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %f", got)
+	}
+}
+
+// Property: percentile is monotonic in p and bounded by min/max.
+func TestPercentileMonotonicProperty(t *testing.T) {
+	f := func(vals []float64, a, b uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var d Distribution
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			d.Observe(v)
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := d.Percentile(pa), d.Percentile(pb)
+		return va <= vb && va >= d.Min() && vb <= d.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4, 16})
+	if math.Abs(got-4) > 1e-9 {
+		t.Fatalf("geomean = %f, want 4", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("geomean of empty should be 0")
+	}
+	if g := GeoMean([]float64{-1, 0, 8}); math.Abs(g-8) > 1e-9 {
+		t.Fatalf("geomean skipping non-positives = %f, want 8", g)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta", 12345.0)
+	out := tb.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "alpha") {
+		t.Fatalf("table output missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "1.5000") {
+		t.Fatalf("float formatting wrong:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"prosper/internal/sim"
+)
+
+// OpBreakdown is the Fig 1 statistic: memory operations split by segment
+// and direction.
+type OpBreakdown struct {
+	StackReads, StackWrites uint64
+	HeapReads, HeapWrites   uint64
+}
+
+// Total returns all memory operations counted.
+func (b OpBreakdown) Total() uint64 {
+	return b.StackReads + b.StackWrites + b.HeapReads + b.HeapWrites
+}
+
+// StackFraction returns the fraction of operations hitting the stack.
+func (b OpBreakdown) StackFraction() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.StackReads+b.StackWrites) / float64(t)
+}
+
+// Breakdown computes the Fig 1 operation split.
+func Breakdown(t *Trace) OpBreakdown {
+	var b OpBreakdown
+	for _, r := range t.Records {
+		switch {
+		case r.Stack && r.Write:
+			b.StackWrites++
+		case r.Stack:
+			b.StackReads++
+		case r.Write:
+			b.HeapWrites++
+		default:
+			b.HeapReads++
+		}
+	}
+	return b
+}
+
+// IntervalStat is one consistency interval's Fig 2 statistic.
+type IntervalStat struct {
+	StackWrites   uint64 // all stack writes in the interval
+	BeyondFinalSP uint64 // writes to addresses below the interval-final SP
+	FinalSP       uint64
+}
+
+// Intervals slices the trace into consecutive windows of the given
+// virtual duration and reports, per interval, total stack writes and the
+// writes beyond (below) the stack pointer at the interval's end — the
+// operations an SP-unaware persistence mechanism wastes work on.
+func Intervals(t *Trace, interval sim.Time) []IntervalStat {
+	if interval <= 0 || len(t.Records) == 0 {
+		return nil
+	}
+	var out []IntervalStat
+	start := 0
+	boundary := interval
+	flush := func(end int, finalSP uint64) {
+		st := IntervalStat{FinalSP: finalSP}
+		for _, r := range t.Records[start:end] {
+			if r.Stack && r.Write {
+				st.StackWrites++
+				if r.Addr < finalSP {
+					st.BeyondFinalSP++
+				}
+			}
+		}
+		out = append(out, st)
+		start = end
+	}
+	lastSP := t.StackHi
+	for i, r := range t.Records {
+		if r.SP != 0 {
+			lastSP = r.SP
+		}
+		for r.Time > boundary {
+			flush(i, lastSP)
+			boundary += interval
+		}
+	}
+	flush(len(t.Records), lastSP)
+	return out
+}
+
+// BeyondSPFraction aggregates Intervals into the average fraction of
+// stack writes beyond the final SP.
+func BeyondSPFraction(t *Trace, interval sim.Time) float64 {
+	var writes, beyond uint64
+	for _, st := range Intervals(t, interval) {
+		writes += st.StackWrites
+		beyond += st.BeyondFinalSP
+	}
+	if writes == 0 {
+		return 0
+	}
+	return float64(beyond) / float64(writes)
+}
+
+// CopySizes is the Fig 4 statistic: checkpoint copy volume per interval
+// at a given tracking granularity.
+type CopySizes struct {
+	Granularity uint64
+	Intervals   int
+	TotalBytes  uint64 // sum over intervals of (distinct granules x granularity)
+}
+
+// MeanBytes returns the average per-interval checkpoint size.
+func (c CopySizes) MeanBytes() float64 {
+	if c.Intervals == 0 {
+		return 0
+	}
+	return float64(c.TotalBytes) / float64(c.Intervals)
+}
+
+// CheckpointSizes computes, for consecutive intervals of the given
+// duration, the bytes a checkpoint must copy when stack modifications are
+// tracked at the given granularity (4096 reproduces the page-level
+// Dirtybit sizes; 8 the byte-level Prosper sizes).
+func CheckpointSizes(t *Trace, interval sim.Time, granularity uint64) CopySizes {
+	out := CopySizes{Granularity: granularity}
+	if interval <= 0 || granularity == 0 {
+		return out
+	}
+	dirty := make(map[uint64]struct{})
+	boundary := interval
+	flush := func() {
+		out.TotalBytes += uint64(len(dirty)) * granularity
+		out.Intervals++
+		clear(dirty)
+	}
+	for _, r := range t.Records {
+		for r.Time > boundary {
+			flush()
+			boundary += interval
+		}
+		if !r.Stack || !r.Write {
+			continue
+		}
+		first := r.Addr / granularity
+		last := (r.Addr + uint64(r.Size) - 1) / granularity
+		for g := first; g <= last; g++ {
+			dirty[g] = struct{}{}
+		}
+	}
+	flush()
+	return out
+}
+
+// ReductionFactor returns how much smaller fine-grained checkpoints are
+// than page-granularity ones for this trace (the Fig 4 headline numbers:
+// ~300x for Gapbs_pr, ~56x for G500_sssp, ~33x for Ycsb_mem).
+func ReductionFactor(t *Trace, interval sim.Time, fineGran uint64) float64 {
+	page := CheckpointSizes(t, interval, 4096)
+	fine := CheckpointSizes(t, interval, fineGran)
+	if fine.TotalBytes == 0 {
+		return 0
+	}
+	return float64(page.TotalBytes) / float64(fine.TotalBytes)
+}

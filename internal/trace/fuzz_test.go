@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hardens the binary trace decoder against malformed input: it
+// must return an error or a valid trace, never panic or over-allocate.
+func FuzzRead(f *testing.F) {
+	// Seed with a real encoding and a few mutations.
+	tr := &Trace{StackHi: 0x7fff0000, StackLo: 0x7ff00000}
+	tr.Records = append(tr.Records,
+		Record{Time: 1, Addr: 0x7ffe0000, SP: 0x7ffe0000, Size: 8, Write: true, Stack: true},
+		Record{Time: 2, Addr: 0x10000000, Size: 4},
+	)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("garbage that is not a trace"))
+	// Header claiming an absurd record count with no payload.
+	huge := append([]byte{}, good[:24]...)
+	huge[4], huge[5], huge[6], huge[7] = 0xff, 0xff, 0xff, 0xff
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Valid decodes must round-trip.
+		var out bytes.Buffer
+		if err := got.Write(&out); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again.Records) != len(got.Records) {
+			t.Fatalf("round trip changed record count: %d vs %d",
+				len(again.Records), len(got.Records))
+		}
+	})
+}
+
+// FuzzAnalyses runs the trace analyses over arbitrary record sets: they
+// must never panic and must preserve basic accounting identities.
+func FuzzAnalyses(f *testing.F) {
+	f.Add(uint64(0x7fff0000), uint16(100), uint8(7))
+	f.Add(uint64(4096), uint16(1), uint8(0))
+	f.Fuzz(func(t *testing.T, stackHi uint64, n uint16, mix uint8) {
+		if stackHi < 4096 {
+			stackHi = 4096
+		}
+		tr := &Trace{StackHi: stackHi, StackLo: stackHi}
+		for i := 0; i < int(n); i++ {
+			r := Record{
+				Time:  int64(i * (int(mix%7) + 1)),
+				Addr:  stackHi - uint64(i%4000) - 8,
+				SP:    stackHi - uint64(i%4000) - 8,
+				Size:  int32(i%16) + 1,
+				Write: i%int(mix%3+2) == 0,
+				Stack: i%int(mix%5+1) != 0,
+			}
+			tr.Records = append(tr.Records, r)
+		}
+		b := Breakdown(tr)
+		if b.Total() != uint64(len(tr.Records)) {
+			t.Fatal("breakdown lost records")
+		}
+		ivs := Intervals(tr, tr.Duration()/4+1)
+		var writes uint64
+		for _, iv := range ivs {
+			if iv.BeyondFinalSP > iv.StackWrites {
+				t.Fatal("beyond > total")
+			}
+			writes += iv.StackWrites
+		}
+		if writes != b.StackWrites {
+			t.Fatal("interval writes disagree with breakdown")
+		}
+		cs := CheckpointSizes(tr, tr.Duration()/4+1, 8)
+		if cs.TotalBytes%8 != 0 {
+			t.Fatal("checkpoint bytes not granule-aligned")
+		}
+	})
+}

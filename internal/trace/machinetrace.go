@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"prosper/internal/machine"
+	"prosper/internal/sim"
+)
+
+// Recorder captures memory operations from a live simulated core into a
+// Trace — the machine-level counterpart of Capture, playing the role the
+// SniP tracing framework plays for the paper on real hardware. Records
+// carry simulated timestamps, so the trace analyses (Intervals,
+// CheckpointSizes) operate on real machine timing rather than the nominal
+// op costs the program-level capturer assumes.
+type Recorder struct {
+	eng     *sim.Engine
+	stackLo uint64
+	stackHi uint64
+	// SP, when set, supplies the traced thread's current stack pointer
+	// (the kernel knows it; record 0 when unavailable).
+	SP func() uint64
+
+	Trace *Trace
+	limit int
+}
+
+// NewRecorder builds a recorder for one thread's stack range.
+func NewRecorder(eng *sim.Engine, stackLo, stackHi uint64, maxRecords int) *Recorder {
+	if maxRecords <= 0 {
+		maxRecords = 1 << 20
+	}
+	return &Recorder{
+		eng:     eng,
+		stackLo: stackLo,
+		stackHi: stackHi,
+		Trace:   &Trace{StackHi: stackHi, StackLo: stackHi},
+		limit:   maxRecords,
+	}
+}
+
+// Attach installs the recorder on a core's tracer tap. Detach by setting
+// core.Tracer = nil.
+func (r *Recorder) Attach(core *machine.Core) {
+	core.Tracer = r.observe
+}
+
+func (r *Recorder) observe(write bool, vaddr uint64, size int) {
+	if len(r.Trace.Records) >= r.limit {
+		return
+	}
+	var sp uint64
+	if r.SP != nil {
+		sp = r.SP()
+	}
+	if sp != 0 && sp < r.Trace.StackLo {
+		r.Trace.StackLo = sp
+	}
+	r.Trace.Records = append(r.Trace.Records, Record{
+		Time:  r.eng.Now(),
+		Addr:  vaddr,
+		SP:    sp,
+		Size:  int32(size),
+		Write: write,
+		Stack: vaddr >= r.stackLo && vaddr < r.stackHi,
+	})
+}
+
+// Full reports whether the record limit has been reached.
+func (r *Recorder) Full() bool { return len(r.Trace.Records) >= r.limit }

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"testing"
+
+	"prosper/internal/kernel"
+	"prosper/internal/machine"
+	"prosper/internal/sim"
+	"prosper/internal/workload"
+)
+
+func TestRecorderCapturesMachineRun(t *testing.T) {
+	k := kernel.New(kernel.Config{Machine: machine.Config{Cores: 1}})
+	p := k.Spawn(kernel.ProcessConfig{Name: "rec", Seed: 2, PremapHeap: true},
+		workload.NewApp(workload.GapbsPR()))
+	th := p.Threads[0]
+	rec := NewRecorder(k.Eng, th.StackSeg.Lo, th.StackSeg.Hi, 50_000)
+	rec.SP = th.SP
+	rec.Attach(k.Mach.Cores[0])
+
+	k.RunFor(300 * sim.Microsecond)
+	p.Shutdown()
+
+	tr := rec.Trace
+	if len(tr.Records) < 1000 {
+		t.Fatalf("recorded %d ops", len(tr.Records))
+	}
+	// Timestamps are real machine times: strictly nondecreasing and
+	// bounded by the run length.
+	var last sim.Time
+	for i, r := range tr.Records {
+		if r.Time < last {
+			t.Fatalf("record %d time went backwards", i)
+		}
+		last = r.Time
+	}
+	if last > k.Eng.Now() {
+		t.Fatal("record timestamp beyond simulation end")
+	}
+	// The machine-level stack fraction must agree with the generator's
+	// calibration (~70% for Gapbs_pr).
+	b := Breakdown(tr)
+	if f := b.StackFraction(); f < 0.55 || f > 0.85 {
+		t.Fatalf("machine-level stack fraction = %.3f", f)
+	}
+	// With the thread's SP wired in, the beyond-SP analysis must land in
+	// a sane band (not the degenerate 1.0 an SP-less trace produces).
+	beyond := BeyondSPFraction(tr, tr.Duration()/10+1)
+	if beyond <= 0 || beyond >= 0.9 {
+		t.Fatalf("machine-level beyond-SP fraction = %.3f", beyond)
+	}
+}
+
+func TestRecorderAnalysesWork(t *testing.T) {
+	k := kernel.New(kernel.Config{Machine: machine.Config{Cores: 1}})
+	p := k.Spawn(kernel.ProcessConfig{Name: "rec2", Seed: 7, PremapHeap: true},
+		workload.NewApp(workload.YcsbMem()))
+	th := p.Threads[0]
+	rec := NewRecorder(k.Eng, th.StackSeg.Lo, th.StackSeg.Hi, 100_000)
+	rec.Attach(k.Mach.Cores[0])
+	k.RunFor(400 * sim.Microsecond)
+	p.Shutdown()
+
+	tr := rec.Trace
+	cs := CheckpointSizes(tr, tr.Duration()/4+1, 8)
+	if cs.TotalBytes == 0 {
+		t.Fatal("no checkpoint sizes from machine trace")
+	}
+	page := CheckpointSizes(tr, tr.Duration()/4+1, 4096)
+	if page.TotalBytes <= cs.TotalBytes {
+		t.Fatal("page tracking not larger than byte tracking on machine trace")
+	}
+}
+
+func TestRecorderRespectsLimit(t *testing.T) {
+	k := kernel.New(kernel.Config{Machine: machine.Config{Cores: 1}})
+	p := k.Spawn(kernel.ProcessConfig{Name: "rec3"}, workload.NewCounter(1_000_000))
+	th := p.Threads[0]
+	rec := NewRecorder(k.Eng, th.StackSeg.Lo, th.StackSeg.Hi, 100)
+	rec.Attach(k.Mach.Cores[0])
+	k.RunFor(200 * sim.Microsecond)
+	p.Shutdown()
+	if len(rec.Trace.Records) != 100 || !rec.Full() {
+		t.Fatalf("limit not enforced: %d records", len(rec.Trace.Records))
+	}
+}

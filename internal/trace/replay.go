@@ -1,0 +1,112 @@
+package trace
+
+import "prosper/internal/sim"
+
+// Mechanism names for the Fig 3 replay study.
+const (
+	MechNone  = "none" // stack in DRAM, no persistence (normalization base)
+	MechFlush = "flush"
+	MechUndo  = "undo"
+	MechRedo  = "redo"
+)
+
+// ReplayCosts is the additive latency model the Fig 3 replay uses. The
+// defaults approximate the Optane-DCPM system of the paper's motivation
+// experiment: persisted stores pay NVM latencies, the baseline runs from
+// DRAM/caches.
+type ReplayCosts struct {
+	BaseOp    sim.Time // cached DRAM op (applies to every memory op)
+	NVMRead   sim.Time
+	NVMWrite  sim.Time // amortized clwb+fence cost
+	LogAppend sim.Time // appending one log entry (buffered NVM write)
+}
+
+// DefaultReplayCosts returns the calibration used in the experiments.
+func DefaultReplayCosts() ReplayCosts {
+	return ReplayCosts{BaseOp: 3, NVMRead: 300, NVMWrite: 900, LogAppend: 450}
+}
+
+// ReplayResult reports one mechanism/awareness combination.
+type ReplayResult struct {
+	Mechanism string
+	SPAware   bool
+	Cycles    sim.Time
+	// PersistOps counts the consistency-preserving operations performed
+	// (flushes, log appends); SP awareness reduces exactly these.
+	PersistOps uint64
+}
+
+// Replay re-executes the trace's stack accesses under a persistence
+// mechanism, mirroring the paper's custom replay program: in the
+// "no SP awareness" scenario the mechanism interposes every stack write;
+// with SP awareness it interposes only writes within the active stack
+// region at each interval's end (future knowledge available because this
+// is a replay). Heap accesses and compute gaps pay base costs in all
+// scenarios, so results are comparable across mechanisms.
+func Replay(t *Trace, mech string, spAware bool, interval sim.Time, costs ReplayCosts) ReplayResult {
+	res := ReplayResult{Mechanism: mech, SPAware: spAware}
+	stats := Intervals(t, interval)
+	if len(stats) == 0 {
+		return res
+	}
+	// Walk records and intervals together.
+	idx := 0
+	boundary := interval
+	redoDirty := make(map[uint64]struct{}) // granules to write back at commit (redo)
+	commit := func() {
+		if mech == MechRedo {
+			// Redo applies the log to the home locations at commit.
+			res.Cycles += sim.Time(len(redoDirty)) * costs.NVMWrite
+			res.PersistOps += uint64(len(redoDirty))
+			clear(redoDirty)
+		}
+	}
+	for _, r := range t.Records {
+		for r.Time > boundary {
+			commit()
+			boundary += interval
+			if idx < len(stats)-1 {
+				idx++
+			}
+		}
+		res.Cycles += costs.BaseOp
+		if !r.Stack || !r.Write {
+			continue
+		}
+		if spAware && r.Addr < stats[idx].FinalSP {
+			// Beyond the active region at this interval's commit point:
+			// an SP-aware mechanism skips the persistence work entirely.
+			continue
+		}
+		res.PersistOps++
+		switch mech {
+		case MechNone:
+			res.PersistOps--
+		case MechFlush:
+			// Store to NVM followed by clwb: the store's persistence cost.
+			res.Cycles += costs.NVMWrite
+		case MechUndo:
+			// Read old value, append undo record, write data in place.
+			res.Cycles += costs.NVMRead + costs.LogAppend + costs.NVMWrite
+		case MechRedo:
+			// Append redo record now; data written at commit.
+			res.Cycles += costs.LogAppend
+			redoDirty[r.Addr/64] = struct{}{}
+		}
+	}
+	commit()
+	// Compute gaps: the replay preserves think time.
+	res.Cycles += t.Duration()
+	return res
+}
+
+// ReplayNormalized runs the mechanism and divides by the no-persistence
+// baseline, giving Fig 3's normalized execution time.
+func ReplayNormalized(t *Trace, mech string, spAware bool, interval sim.Time, costs ReplayCosts) float64 {
+	base := Replay(t, MechNone, false, interval, costs)
+	run := Replay(t, mech, spAware, interval, costs)
+	if base.Cycles == 0 {
+		return 0
+	}
+	return float64(run.Cycles) / float64(base.Cycles)
+}

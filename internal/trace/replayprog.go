@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"prosper/internal/sim"
+	"prosper/internal/workload"
+)
+
+// ReplayProgram adapts a captured trace into a workload.Program so a
+// trace can be re-executed on the full simulated machine — the
+// methodology the paper's motivation experiments use (capture with
+// Pin/SniP, replay under a persistence mechanism), here available against
+// the cycle-level machine instead of the additive cost model of Replay.
+//
+// Addresses are relocated from the trace's segment bases to the replaying
+// process's context, and inter-record time gaps become compute ops so the
+// replay preserves think time.
+type ReplayProgram struct {
+	trace *Trace
+	// Captured segment geometry (from the capture context).
+	SrcStackHi uint64
+	SrcHeapLo  uint64
+
+	ctx  workload.Context
+	idx  int
+	last sim.Time
+	gap  bool // emit the pending compute gap before record idx
+}
+
+// NewReplayProgram wraps a trace captured with the given context bases.
+func NewReplayProgram(t *Trace, srcStackHi, srcHeapLo uint64) *ReplayProgram {
+	return &ReplayProgram{trace: t, SrcStackHi: srcStackHi, SrcHeapLo: srcHeapLo}
+}
+
+// Name implements workload.Program.
+func (p *ReplayProgram) Name() string { return "trace-replay" }
+
+// Start implements workload.Program.
+func (p *ReplayProgram) Start(ctx workload.Context) { p.ctx = ctx }
+
+// Close implements workload.Program.
+func (p *ReplayProgram) Close() {}
+
+// relocate maps a captured address into the replay context.
+func (p *ReplayProgram) relocate(addr uint64, stack bool) uint64 {
+	if stack {
+		return p.ctx.StackHi - (p.SrcStackHi - addr)
+	}
+	return p.ctx.HeapLo + (addr - p.SrcHeapLo)
+}
+
+// Next implements workload.Program.
+func (p *ReplayProgram) Next() workload.Op {
+	if p.idx >= len(p.trace.Records) {
+		return workload.Op{Kind: workload.End}
+	}
+	r := p.trace.Records[p.idx]
+	if p.gap {
+		p.gap = false
+		if d := r.Time - p.last - 1; d > 0 {
+			p.last = r.Time
+			return workload.Op{Kind: workload.Compute, Cycles: d}
+		}
+	}
+	p.idx++
+	p.gap = true
+	p.last = r.Time
+	op := workload.Op{
+		Addr: p.relocate(r.Addr, r.Stack),
+		Size: r.Size,
+		SP:   p.relocate(r.SP, true),
+	}
+	if r.Write {
+		op.Kind = workload.Store
+	} else {
+		op.Kind = workload.Load
+	}
+	return op
+}
+
+// Progress returns how many records have been replayed.
+func (p *ReplayProgram) Progress() int { return p.idx }
+
+var _ workload.Program = (*ReplayProgram)(nil)

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"testing"
+
+	"prosper/internal/sim"
+	"prosper/internal/workload"
+)
+
+func TestReplayProgramPreservesStream(t *testing.T) {
+	cfg := DefaultCaptureConfig()
+	cfg.MaxOps = 2000
+	tr := Capture(workload.NewApp(workload.GapbsPR()), cfg)
+
+	p := NewReplayProgram(tr, cfg.Ctx.StackHi, cfg.Ctx.HeapLo)
+	// Replay into a different layout.
+	replayCtx := cfg.Ctx
+	replayCtx.StackHi = 0x7e00_0000_0000
+	replayCtx.HeapLo = 0x2000_0000
+	p.Start(replayCtx)
+
+	memOps := 0
+	var computeTotal sim.Time
+	for {
+		op := p.Next()
+		if op.Kind == workload.End {
+			break
+		}
+		switch op.Kind {
+		case workload.Compute:
+			computeTotal += op.Cycles
+		case workload.Load, workload.Store:
+			memOps++
+			rec := tr.Records[memOps-1]
+			want := replayCtx.StackHi - (cfg.Ctx.StackHi - rec.Addr)
+			if !rec.Stack {
+				want = replayCtx.HeapLo + (rec.Addr - cfg.Ctx.HeapLo)
+			}
+			if op.Addr != want {
+				t.Fatalf("record %d relocated to %#x, want %#x", memOps-1, op.Addr, want)
+			}
+			if (op.Kind == workload.Store) != rec.Write {
+				t.Fatalf("record %d direction mismatch", memOps-1)
+			}
+		}
+	}
+	if memOps != len(tr.Records) {
+		t.Fatalf("replayed %d of %d records", memOps, len(tr.Records))
+	}
+	// Think time must be preserved approximately (gaps minus 1 cycle/op).
+	if computeTotal <= 0 {
+		t.Fatal("no compute gaps replayed")
+	}
+	if p.Progress() != len(tr.Records) {
+		t.Fatalf("progress = %d", p.Progress())
+	}
+}
+
+func TestReplayProgramEndSticky(t *testing.T) {
+	tr := &Trace{StackHi: 100, StackLo: 100}
+	p := NewReplayProgram(tr, 100, 0)
+	p.Start(workload.Context{StackHi: 1000, HeapLo: 0})
+	if op := p.Next(); op.Kind != workload.End {
+		t.Fatalf("empty trace first op = %+v", op)
+	}
+	if op := p.Next(); op.Kind != workload.End {
+		t.Fatal("End not sticky")
+	}
+}
+
+func TestReplayProgramStackAddressesStayInStack(t *testing.T) {
+	cfg := DefaultCaptureConfig()
+	cfg.MaxOps = 3000
+	tr := Capture(workload.NewRecursive(8), cfg)
+	p := NewReplayProgram(tr, cfg.Ctx.StackHi, cfg.Ctx.HeapLo)
+	ctx := cfg.Ctx
+	ctx.StackHi = 0x7000_0000
+	ctx.StackReserve = 1 << 20
+	p.Start(ctx)
+	for {
+		op := p.Next()
+		if op.Kind == workload.End {
+			break
+		}
+		if op.Kind == workload.Compute {
+			continue
+		}
+		if op.Addr >= ctx.StackHi || op.Addr < ctx.StackHi-ctx.StackReserve {
+			t.Fatalf("relocated stack address %#x outside stack", op.Addr)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package vm
+
+import "prosper/internal/stats"
+
+// TLBEntry caches one translation, including whether the cached PTE had
+// its dirty bit set when the entry was filled. A store through an entry
+// with Dirty=false forces a hardware walk so the in-memory PTE's dirty
+// bit can be set, exactly the mechanism the Dirtybit tracking baseline
+// relies on.
+type TLBEntry struct {
+	VPN   uint64
+	Frame uint64
+	Write bool
+	Dirty bool
+	valid bool
+	lru   uint64
+}
+
+// TLB is a fully associative translation cache with LRU replacement.
+type TLB struct {
+	entries  []TLBEntry
+	lruClock uint64
+	Counters *stats.Counters
+}
+
+// NewTLB returns a TLB with the given number of entries.
+func NewTLB(size int) *TLB {
+	return &TLB{entries: make([]TLBEntry, size), Counters: stats.NewCounters()}
+}
+
+// Lookup returns the entry caching vaddr's page, or nil on a miss.
+func (t *TLB) Lookup(vaddr uint64) *TLBEntry {
+	vpn := vaddr >> pageShift
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.VPN == vpn {
+			t.lruClock++
+			e.lru = t.lruClock
+			t.Counters.Inc("tlb.hits")
+			return e
+		}
+	}
+	t.Counters.Inc("tlb.misses")
+	return nil
+}
+
+// Insert fills an entry for vaddr's page, evicting LRU if needed.
+func (t *TLB) Insert(vaddr, frame uint64, write, dirty bool) {
+	vpn := vaddr >> pageShift
+	victim := &t.entries[0]
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.VPN == vpn {
+			victim = e
+			break
+		}
+		if !e.valid {
+			victim = e
+			break
+		}
+		if e.lru < victim.lru {
+			victim = e
+		}
+	}
+	t.lruClock++
+	*victim = TLBEntry{VPN: vpn, Frame: frame, Write: write, Dirty: dirty, valid: true, lru: t.lruClock}
+}
+
+// Invalidate drops the entry for vaddr's page if cached.
+func (t *TLB) Invalidate(vaddr uint64) {
+	vpn := vaddr >> pageShift
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].VPN == vpn {
+			t.entries[i].valid = false
+		}
+	}
+}
+
+// InvalidateRange drops all entries whose page lies in [lo, hi).
+func (t *TLB) InvalidateRange(lo, hi uint64) {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid {
+			continue
+		}
+		va := e.VPN << pageShift
+		if va >= lo && va < hi {
+			e.valid = false
+		}
+	}
+}
+
+// Flush empties the TLB (address-space switch).
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		t.entries[i].valid = false
+	}
+}
