@@ -4,16 +4,25 @@
 //
 // Usage:
 //
-//	prosper-experiments [-interval us] [-checkpoints n] [-ops n] [fig1 fig2 ... | all | quick]
+//	prosper-experiments [-interval us] [-checkpoints n] [-ops n]
+//	                    [-parallel n] [-progress] [-list]
+//	                    [fig1 fig2 ... | all | quick]
 //
 // "quick" runs the trace-driven motivation figures only (seconds);
 // "all" also runs the full-machine figures (minutes at default scale).
+//
+// Every figure is a declarative run plan executed on a bounded worker
+// pool (-parallel, default GOMAXPROCS). Each run owns a private
+// deterministic simulation, and results are assembled in plan order, so
+// tables on stdout are byte-identical for any -parallel value; progress
+// and timing go to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"prosper/internal/experiments"
@@ -21,24 +30,32 @@ import (
 	"prosper/internal/stats"
 )
 
+type experiment struct {
+	name  string
+	heavy bool
+	run   func() *stats.Table
+}
+
 func main() {
 	intervalUS := flag.Int("interval", 200, "checkpoint interval in simulated microseconds (paper: 10000)")
 	checkpoints := flag.Int("checkpoints", 10, "checkpoints per measured run")
 	traceOps := flag.Int("ops", 150000, "trace length for motivation figures")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of ASCII tables")
 	chartOut := flag.Bool("chart", false, "also render each figure as an ASCII bar chart")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation runs per experiment")
+	list := flag.Bool("list", false, "print the experiment registry and exit")
+	progress := flag.Bool("progress", true, "report per-run progress (spec, sim cycles, wall seconds) on stderr")
 	flag.Parse()
 
 	scale := experiments.DefaultScale()
 	scale.Interval = sim.Time(*intervalUS) * sim.Microsecond
 	scale.Checkpoints = *checkpoints
 	scale.TraceOps = *traceOps
-
-	type experiment struct {
-		name  string
-		heavy bool
-		run   func() *stats.Table
+	scale.Workers = *parallel
+	if *progress {
+		scale.Log = stats.NewRunLog(os.Stderr)
 	}
+
 	exps := []experiment{
 		{"table1", false, func() *stats.Table { return experiments.Table1() }},
 		{"fig1", false, func() *stats.Table { _, tb := experiments.Fig1(scale); return tb }},
@@ -57,11 +74,16 @@ func main() {
 		{"ctxswitch", false, func() *stats.Table { _, tb := experiments.ContextSwitch(scale); return tb }},
 		{"energy", false, func() *stats.Table { _, tb := experiments.Energy(scale); return tb }},
 	}
+
+	if *list {
+		printRegistry(os.Stdout, exps)
+		return
+	}
+
 	byName := map[string]experiment{}
 	for _, e := range exps {
 		byName[e.name] = e
 	}
-
 	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"quick"}
@@ -70,7 +92,7 @@ func main() {
 	for _, a := range args {
 		switch a {
 		case "all":
-			selected = exps
+			selected = append(selected, exps...)
 		case "quick":
 			for _, e := range exps {
 				if !e.heavy {
@@ -80,11 +102,9 @@ func main() {
 		default:
 			e, ok := byName[a]
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q; available:", a)
-				for _, e := range exps {
-					fmt.Fprintf(os.Stderr, " %s", e.name)
-				}
-				fmt.Fprintln(os.Stderr, " all quick")
+				fmt.Fprintf(os.Stderr, "prosper-experiments: unknown experiment %q\n\n", a)
+				printRegistry(os.Stderr, exps)
+				fmt.Fprintln(os.Stderr, "\n(run 'prosper-experiments -list' to see this registry again)")
 				os.Exit(2)
 			}
 			selected = append(selected, e)
@@ -99,16 +119,32 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			continue
-		}
-		fmt.Println(tb.String())
-		if *chartOut {
-			if ch := chartFor(e.name, tb); ch != nil && ch.NumRows() > 0 {
-				fmt.Println(ch.String())
+		} else {
+			fmt.Println(tb.String())
+			if *chartOut {
+				if ch := chartFor(e.name, tb); ch != nil && ch.NumRows() > 0 {
+					fmt.Println(ch.String())
+				}
 			}
 		}
-		fmt.Printf("[%s completed in %v wall time]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "[%s completed in %v wall time, %d workers]\n",
+			e.name, time.Since(start).Round(time.Millisecond), *parallel)
 	}
+}
+
+// printRegistry lists every experiment with its cost class, plus the two
+// pseudo-targets.
+func printRegistry(w *os.File, exps []experiment) {
+	fmt.Fprintln(w, "experiments (quick = seconds; heavy = minutes at default scale):")
+	for _, e := range exps {
+		marker := "quick"
+		if e.heavy {
+			marker = "heavy"
+		}
+		fmt.Fprintf(w, "  %-10s %s\n", e.name, marker)
+	}
+	fmt.Fprintf(w, "  %-10s every experiment\n", "all")
+	fmt.Fprintf(w, "  %-10s every quick experiment (default)\n", "quick")
 }
 
 // chartFor maps each figure to its headline series for bar rendering.

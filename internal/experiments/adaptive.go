@@ -28,8 +28,6 @@ type AdaptiveRow struct {
 // at fine granularity with tiny checkpoints.
 func Adaptive(s Scale) ([]AdaptiveRow, *stats.Table) {
 	s = s.withDefaults()
-	tb := stats.NewTable("Extension: dynamic tracking granularity (fixed 8B vs adaptive)",
-		"benchmark", "mode", "mean_ckpt_bytes", "mean_ckpt_cycles", "meta_words")
 	benches := []struct {
 		name string
 		prog func() workload.Program
@@ -48,14 +46,27 @@ func Adaptive(s Scale) ([]AdaptiveRow, *stats.Table) {
 		{"fixed-8B", persist.NewProsper(persist.ProsperConfig{})},
 		{"adaptive", persist.NewAdaptiveProsper(persist.AdaptiveConfig{})},
 	}
-	var rows []AdaptiveRow
+
+	var rcs []runConfig
 	for _, b := range benches {
 		for _, m := range modes {
-			// More checkpoints than usual so the tuner converges within
-			// the measured window.
-			sc := s
-			sc.Checkpoints = s.Checkpoints * 6 // let the tuner converge
-			r := sc.run(runConfig{name: b.name, prog: b.prog, stackMech: m.factory, ckpt: true})
+			rcs = append(rcs, runConfig{
+				name: b.name, label: b.name + "/" + m.name, prog: b.prog,
+				stackMech: m.factory, ckpt: true,
+				// More checkpoints than usual so the tuner converges
+				// within the measured window.
+				checkpoints: s.Checkpoints * 6,
+			})
+		}
+	}
+	res := s.runPlan("adaptive", rcs)
+
+	tb := stats.NewTable("Extension: dynamic tracking granularity (fixed 8B vs adaptive)",
+		"benchmark", "mode", "mean_ckpt_bytes", "mean_ckpt_cycles", "meta_words")
+	var rows []AdaptiveRow
+	for bi, b := range benches {
+		for mi, m := range modes {
+			r := res[bi*len(modes)+mi]
 			rows = append(rows, AdaptiveRow{
 				Benchmark:      b.name,
 				Mode:           m.name,

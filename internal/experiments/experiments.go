@@ -9,6 +9,12 @@
 // checkpoints proportionally (all mechanisms' per-interval work scales
 // with the interval, preserving the comparisons; the scaling is recorded
 // in EXPERIMENTS.md).
+//
+// Each figure declares a runner.Plan — a list of independent run specs —
+// and hands it to a runner.Executor, which fans the specs out across a
+// bounded worker pool (Scale.Workers). Results come back in plan order,
+// so the rendered tables are byte-identical regardless of the worker
+// count; only wall-clock time changes.
 package experiments
 
 import (
@@ -16,7 +22,9 @@ import (
 	"prosper/internal/machine"
 	"prosper/internal/persist"
 	"prosper/internal/prosper"
+	"prosper/internal/runner"
 	"prosper/internal/sim"
+	"prosper/internal/stats"
 	"prosper/internal/workload"
 )
 
@@ -34,6 +42,13 @@ type Scale struct {
 	StackReserve uint64
 	HeapSize     uint64
 	Seed         uint64
+
+	// Workers bounds how many of a figure's runs execute concurrently
+	// (<= 0 means GOMAXPROCS). Results are identical for any value.
+	Workers int
+	// Log, when non-nil, receives one record per completed run (spec
+	// label, simulated cycles, wall-clock time) as runs finish.
+	Log *stats.RunLog
 }
 
 // DefaultScale is the standard scaled-down configuration: 200 µs
@@ -94,154 +109,101 @@ func (s Scale) consolidation(paperInterval sim.Time) sim.Time {
 	return scaled
 }
 
-// RunStats is the outcome of one measured workload run.
-type RunStats struct {
-	Name      string
-	Mechanism string
+// RunStats is the outcome of one measured workload run (owned by
+// internal/runner; aliased here so figure code and its callers keep the
+// historical name).
+type RunStats = runner.RunStats
 
-	UserOps    uint64
-	UserCycles uint64
-
-	Checkpoints     uint64
-	CheckpointBytes uint64
-	StackCkptBytes  uint64
-	StackCkptCycles uint64
-	StackCkptMeta   uint64
-	HeapCkptBytes   uint64
-	HeapCkptCycles  uint64
-
-	TrackerBitmapLoads  uint64
-	TrackerBitmapStores uint64
-	TrackerSOIs         uint64
-	TrackerUpdates      uint64
-	TrackerWritebacks   uint64
-
-	CtxSwitches  uint64
-	CtxSwitchIn  uint64
-	CtxSwitchOut uint64
-
-	WriteFaults uint64 // write-permission faults (WriteProtect tracking)
-
-	Elapsed sim.Time
-}
-
-// IPC returns the user-mode instructions-per-cycle of the run.
-func (r RunStats) IPC() float64 {
-	if r.UserCycles == 0 {
-		return 0
-	}
-	return float64(r.UserOps) / float64(r.UserCycles)
-}
-
-// MeanStackCkptBytes returns the average per-checkpoint stack copy size.
-func (r RunStats) MeanStackCkptBytes() float64 {
-	if r.Checkpoints == 0 {
-		return 0
-	}
-	return float64(r.StackCkptBytes) / float64(r.Checkpoints)
-}
-
-// MeanStackCkptCycles returns the average stack checkpoint duration.
-func (r RunStats) MeanStackCkptCycles() float64 {
-	if r.Checkpoints == 0 {
-		return 0
-	}
-	return float64(r.StackCkptCycles) / float64(r.Checkpoints)
-}
-
-// runConfig describes one run of the standard single-process workload.
+// runConfig describes one run of the standard single-process workload:
+// today's spec-builder shorthand, converted to a runner.Spec by
+// Scale.spec. The optional fields override the Scale for a single run.
 type runConfig struct {
 	name      string
+	label     string // display label for progress reports (default: name)
 	prog      func() workload.Program
 	stackMech persist.Factory
 	heapMech  persist.Factory
 	ckpt      bool
 	cores     int
 	threads   int
+	// tracker configures the per-core Prosper trackers (Fig 13 HWM/LWM
+	// sweeps and the allocation-policy ablation).
+	tracker prosper.Config
+	// interval/checkpoints override the Scale's values when nonzero
+	// (Fig 11's interval sweep, the adaptive-granularity convergence).
+	interval    sim.Time
+	checkpoints int
 }
 
-// run executes one configuration on a fresh kernel and collects stats.
-func (s Scale) run(rc runConfig) RunStats {
-	return s.runCustom(rc, prosper.Config{})
-}
-
-// runCustom is run with an explicit per-core tracker configuration
-// (Fig 13's HWM/LWM sweeps and the allocation-policy ablation).
-func (s Scale) runCustom(rc runConfig, trCfg prosper.Config) RunStats {
-	if rc.cores <= 0 {
-		rc.cores = 1
+// spec converts a runConfig into a runner.Spec under this scale.
+func (s Scale) spec(rc runConfig) runner.Spec {
+	label := rc.label
+	if label == "" {
+		label = rc.name
 	}
-	if rc.threads <= 0 {
-		rc.threads = 1
+	iv := s.Interval
+	if rc.interval != 0 {
+		iv = rc.interval
 	}
-	k := kernel.New(kernel.Config{
-		Machine:    machine.Config{Cores: rc.cores},
-		Quantum:    s.Interval / 2,
-		TrackerCfg: trCfg,
-	})
-	pc := kernel.ProcessConfig{
+	cks := s.Checkpoints
+	if rc.checkpoints != 0 {
+		cks = rc.checkpoints
+	}
+	return runner.Spec{
 		Name:         rc.name,
+		Label:        label,
+		Prog:         rc.prog,
 		StackMech:    rc.stackMech,
 		HeapMech:     rc.heapMech,
+		Checkpoint:   rc.ckpt,
+		Cores:        rc.cores,
+		Threads:      rc.threads,
+		Tracker:      rc.tracker,
+		Interval:     iv,
+		Checkpoints:  cks,
+		Warmup:       s.Warmup,
 		StackReserve: s.StackReserve,
 		HeapSize:     s.HeapSize,
-		PremapHeap:   true, // measure warmed-up steady state (paper warms 1 min)
 		Seed:         s.Seed,
 	}
-	if rc.ckpt {
-		pc.CheckpointInterval = s.Interval
-	}
-	progs := make([]workload.Program, rc.threads)
-	for i := range progs {
-		progs[i] = rc.prog()
-	}
-	p := k.Spawn(pc, progs...)
-	defer p.Shutdown()
+}
 
-	k.RunFor(s.Warmup)
-	var opsBase, cyclesBase uint64
-	for _, t := range p.Threads {
-		opsBase += t.UserOps
-		cyclesBase += t.UserCycles
+// runPlan executes the configs as one named plan on the scale's worker
+// pool and returns stats in plan order. A panicking run is re-raised
+// here, tagged with its spec label — the same crash a sequential loop
+// would have produced, minus the runs that still completed.
+func (s Scale) runPlan(figure string, rcs []runConfig) []RunStats {
+	specs := make([]runner.Spec, len(rcs))
+	for i, rc := range rcs {
+		sp := s.spec(rc)
+		if figure != "" {
+			sp.Label = figure + "/" + sp.DisplayLabel()
+		}
+		specs[i] = sp
 	}
-	ckptBase := p.CheckpointCount
-	ckptBytesBase := p.CheckpointBytes
-	stackBytesBase := p.Counters.Get("proc.stack_ckpt_bytes")
-	stackCyclesBase := p.Counters.Get("proc.stack_ckpt_cycles")
-	stackMetaBase := p.Counters.Get("proc.stack_ckpt_meta")
-	heapBytesBase := p.Counters.Get("proc.heap_ckpt_bytes")
-	heapCyclesBase := p.Counters.Get("proc.heap_ckpt_cycles")
-	trSnap := s.trackerSnapshot(k)
-	wfBase := uint64(p.AS.WriteFaults())
-	start := k.Eng.Now()
-
-	k.RunFor(s.Interval * sim.Time(s.Checkpoints))
-
-	res := RunStats{Name: rc.name, Elapsed: k.Eng.Now() - start}
-	for _, t := range p.Threads {
-		res.UserOps += t.UserOps
-		res.UserCycles += t.UserCycles
+	ex := runner.Executor{Workers: s.Workers, OnDone: s.record}
+	res, err := ex.Run(runner.Plan{Name: figure, Specs: specs})
+	if err != nil {
+		panic(err)
 	}
-	res.UserOps -= opsBase
-	res.UserCycles -= cyclesBase
-	res.Checkpoints = p.CheckpointCount - ckptBase
-	res.CheckpointBytes = p.CheckpointBytes - ckptBytesBase
-	res.StackCkptBytes = p.Counters.Get("proc.stack_ckpt_bytes") - stackBytesBase
-	res.StackCkptCycles = p.Counters.Get("proc.stack_ckpt_cycles") - stackCyclesBase
-	res.StackCkptMeta = p.Counters.Get("proc.stack_ckpt_meta") - stackMetaBase
-	res.HeapCkptBytes = p.Counters.Get("proc.heap_ckpt_bytes") - heapBytesBase
-	res.HeapCkptCycles = p.Counters.Get("proc.heap_ckpt_cycles") - heapCyclesBase
-	trEnd := s.trackerSnapshot(k)
-	res.TrackerBitmapLoads = trEnd.loads - trSnap.loads
-	res.TrackerBitmapStores = trEnd.stores - trSnap.stores
-	res.TrackerSOIs = trEnd.sois - trSnap.sois
-	res.TrackerWritebacks = trEnd.writebacks - trSnap.writebacks
-	res.TrackerUpdates = res.TrackerSOIs // one table update per SOI granule (approx.)
-	res.WriteFaults = uint64(p.AS.WriteFaults()) - wfBase
-	res.CtxSwitches = k.Counters.Get("kernel.context_switches")
-	res.CtxSwitchIn = k.Counters.Get("kernel.ctxswitch_in_cycles")
-	res.CtxSwitchOut = k.Counters.Get("kernel.ctxswitch_out_cycles")
 	return res
+}
+
+// record forwards one completed run to the scale's RunLog, if any.
+func (s Scale) record(r runner.Result) {
+	if s.Log == nil || r.Err != nil {
+		return
+	}
+	s.Log.Record(stats.RunRecord{
+		Name:      r.Spec.DisplayLabel(),
+		SimCycles: int64(r.Stats.SimEnd),
+		Wall:      r.Wall,
+	})
+}
+
+// run executes one configuration (a single-spec plan) and collects stats.
+func (s Scale) run(rc runConfig) RunStats {
+	return s.runPlan("", []runConfig{rc})[0]
 }
 
 // runIPCWindow measures user cycles spent executing a fixed window of the
@@ -281,20 +243,6 @@ func (s Scale) runIPCWindow(rc runConfig, trCfg prosper.Config, warmupOps, measu
 	target := startOps + measureOps
 	k.Eng.RunWhile(func() bool { return th.UserOps < target && k.Eng.Now() < deadline })
 	return th.UserOps - startOps, th.UserCycles - startCycles
-}
-
-type trackerSnap struct{ loads, stores, sois, writebacks uint64 }
-
-func (s Scale) trackerSnapshot(k *kernel.Kernel) trackerSnap {
-	var out trackerSnap
-	for _, tr := range k.Trackers {
-		out.loads += tr.Counters.Get("prosper.bitmap_loads")
-		out.stores += tr.Counters.Get("prosper.bitmap_stores")
-		out.sois += tr.Counters.Get("prosper.sois")
-		out.writebacks += tr.Counters.Get("prosper.hwm_writebacks") +
-			tr.Counters.Get("prosper.evictions") + tr.Counters.Get("prosper.flushes")
-	}
-	return out
 }
 
 // apps returns the three application models of the main evaluation.

@@ -367,6 +367,26 @@ func TestAdaptiveGranularityShape(t *testing.T) {
 	}
 }
 
+// TestPlanDeterministicAcrossWorkers runs a heavy multi-spec figure
+// (Fig 9: 30 specs) serially and on four workers and asserts the
+// rendered tables are byte-identical — the executor's core contract:
+// parallelism changes wall-clock time only, never results.
+func TestPlanDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	serial := TestScale()
+	serial.Workers = 1
+	parallel := TestScale()
+	parallel.Workers = 4
+	_, tb1 := Fig9(serial)
+	_, tb4 := Fig9(parallel)
+	if tb1.String() != tb4.String() {
+		t.Fatalf("Fig9 tables differ between workers=1 and workers=4:\n%s\n--- vs ---\n%s",
+			tb1.String(), tb4.String())
+	}
+}
+
 func TestTable1Rendered(t *testing.T) {
 	tb := Table1()
 	out := tb.String()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"prosper/internal/runner"
 	"prosper/internal/stats"
 	"prosper/internal/trace"
 	"prosper/internal/workload"
@@ -12,6 +13,17 @@ func (s Scale) captureApp(params workload.AppParams) *trace.Trace {
 	cfg.MaxOps = s.TraceOps
 	cfg.Ctx.Seed = s.Seed
 	return trace.Capture(workload.NewApp(params), cfg)
+}
+
+// captureApps captures one trace per app model across the scale's worker
+// pool. Captures are independent deterministic simulations, so the
+// resulting slice (in params order) does not depend on the worker count.
+func (s Scale) captureApps(params []workload.AppParams) []*trace.Trace {
+	out := make([]*trace.Trace, len(params))
+	runner.ForEach(s.Workers, len(params), func(i int) {
+		out[i] = s.captureApp(params[i])
+	})
+	return out
 }
 
 // Fig1Row is one benchmark's memory-operation breakdown.
@@ -30,19 +42,19 @@ func Fig1(s Scale) ([]Fig1Row, *stats.Table) {
 	tb := stats.NewTable("Figure 1: fraction of memory operations to stack vs heap",
 		"benchmark", "stack_reads", "stack_writes", "heap_reads", "heap_writes", "stack_total")
 	var rows []Fig1Row
-	for _, params := range apps() {
-		tr := s.captureApp(params)
+	benches := apps()
+	for i, tr := range s.captureApps(benches) {
 		b := trace.Breakdown(tr)
 		total := float64(b.Total())
 		row := Fig1Row{
-			Benchmark:   params.Name,
+			Benchmark:   benches[i].Name,
 			StackReads:  float64(b.StackReads) / total,
 			StackWrites: float64(b.StackWrites) / total,
 			HeapReads:   float64(b.HeapReads) / total,
 			HeapWrites:  float64(b.HeapWrites) / total,
 		}
 		rows = append(rows, row)
-		tb.AddRow(params.Name, row.StackReads, row.StackWrites, row.HeapReads,
+		tb.AddRow(benches[i].Name, row.StackReads, row.StackWrites, row.HeapReads,
 			row.HeapWrites, row.StackReads+row.StackWrites)
 	}
 	return rows, tb
@@ -104,27 +116,41 @@ type Fig3Row struct {
 // with and without SP awareness, normalized to no persistence (stack in
 // DRAM). The paper's headline: ~30-33% average improvement from SP
 // awareness, but even SP-aware NVM-resident schemes are >35x slower than
-// no persistence.
+// no persistence. Each benchmark's capture-and-replay chain runs as one
+// worker-pool iteration; rows are assembled in benchmark order.
 func Fig3(s Scale) ([]Fig3Row, *stats.Table) {
 	s = s.withDefaults()
 	costs := trace.DefaultReplayCosts()
-	tb := stats.NewTable("Figure 3: flush/undo/redo ± SP awareness (exec time normalized to no persistence)",
-		"benchmark", "mechanism", "no_sp_aware", "sp_aware", "improvement")
-	var rows []Fig3Row
-	for _, params := range apps() {
-		tr := s.captureApp(params)
+	mechs := []string{trace.MechFlush, trace.MechUndo, trace.MechRedo}
+	benches := apps()
+
+	slots := make([][]Fig3Row, len(benches))
+	runner.ForEach(s.Workers, len(benches), func(i int) {
+		tr := s.captureApp(benches[i])
 		interval := tr.Duration() / 20
-		for _, mech := range []string{trace.MechFlush, trace.MechUndo, trace.MechRedo} {
+		var rows []Fig3Row
+		for _, mech := range mechs {
 			unaware := trace.ReplayNormalized(tr, mech, false, interval, costs)
 			aware := trace.ReplayNormalized(tr, mech, true, interval, costs)
 			rows = append(rows,
-				Fig3Row{params.Name, mech, false, unaware},
-				Fig3Row{params.Name, mech, true, aware})
+				Fig3Row{benches[i].Name, mech, false, unaware},
+				Fig3Row{benches[i].Name, mech, true, aware})
+		}
+		slots[i] = rows
+	})
+
+	tb := stats.NewTable("Figure 3: flush/undo/redo ± SP awareness (exec time normalized to no persistence)",
+		"benchmark", "mechanism", "no_sp_aware", "sp_aware", "improvement")
+	var rows []Fig3Row
+	for _, rs := range slots {
+		rows = append(rows, rs...)
+		for j := 0; j+1 < len(rs); j += 2 {
+			unaware, aware := rs[j], rs[j+1]
 			improvement := 0.0
-			if unaware > 0 {
-				improvement = 1 - aware/unaware
+			if unaware.Normalized > 0 {
+				improvement = 1 - aware.Normalized/unaware.Normalized
 			}
-			tb.AddRow(params.Name, mech, unaware, aware, improvement)
+			tb.AddRow(unaware.Benchmark, unaware.Mechanism, unaware.Normalized, aware.Normalized, improvement)
 		}
 	}
 	return rows, tb
@@ -143,24 +169,31 @@ type Fig4Row struct {
 // ~300x / ~56x / ~33x reduction for Gapbs_pr / G500_sssp / Ycsb_mem).
 func Fig4(s Scale) ([]Fig4Row, *stats.Table) {
 	s = s.withDefaults()
-	tb := stats.NewTable("Figure 4: stack checkpoint copy size, 4KiB-page vs 8-byte dirty tracking",
-		"benchmark", "page_mean_bytes", "8B_mean_bytes", "reduction")
-	var rows []Fig4Row
-	for _, params := range apps() {
-		tr := s.captureApp(params)
+	benches := apps()
+
+	slots := make([]Fig4Row, len(benches))
+	runner.ForEach(s.Workers, len(benches), func(i int) {
+		tr := s.captureApp(benches[i])
 		interval := tr.Duration() / 20
 		page := trace.CheckpointSizes(tr, interval, 4096)
 		fine := trace.CheckpointSizes(tr, interval, 8)
 		row := Fig4Row{
-			Benchmark:     params.Name,
+			Benchmark:     benches[i].Name,
 			PageBytesMean: page.MeanBytes(),
 			ByteBytesMean: fine.MeanBytes(),
 		}
 		if fine.TotalBytes > 0 {
 			row.ReductionRatio = float64(page.TotalBytes) / float64(fine.TotalBytes)
 		}
+		slots[i] = row
+	})
+
+	tb := stats.NewTable("Figure 4: stack checkpoint copy size, 4KiB-page vs 8-byte dirty tracking",
+		"benchmark", "page_mean_bytes", "8B_mean_bytes", "reduction")
+	var rows []Fig4Row
+	for _, row := range slots {
 		rows = append(rows, row)
-		tb.AddRow(params.Name, row.PageBytesMean, row.ByteBytesMean, row.ReductionRatio)
+		tb.AddRow(row.Benchmark, row.PageBytesMean, row.ByteBytesMean, row.ReductionRatio)
 	}
 	return rows, tb
 }

@@ -6,6 +6,7 @@ import (
 	"prosper/internal/energy"
 	"prosper/internal/persist"
 	"prosper/internal/prosper"
+	"prosper/internal/runner"
 	"prosper/internal/stats"
 	"prosper/internal/workload"
 )
@@ -48,18 +49,25 @@ type Fig12Row struct {
 // Fig12 reproduces Figure 12: the performance overhead Prosper's hardware
 // tracking imposes on applications, measured as user-space IPC relative
 // to a run with no dirty tracking, for granularities 8/64/128 bytes.
+//
+// The IPC-window methodology does not produce RunStats, so this figure
+// fans out per benchmark with runner.ForEach instead of a plan: each
+// iteration owns its baseline and its three tracked runs, and the rows
+// are assembled in benchmark order afterwards.
 func Fig12(s Scale) ([]Fig12Row, *stats.Table) {
 	s = s.withDefaults()
-	tb := stats.NewTable("Figure 12: user-IPC speedup vs no dirty tracking (Prosper tracking active)",
-		"benchmark", "granularity", "speedup")
-	var rows []Fig12Row
+	benches := overheadBenches()
+	grans := []uint64{8, 64, 128}
 	warmupOps := uint64(s.TraceOps) / 5
 	measureOps := uint64(s.TraceOps)
-	for _, b := range overheadBenches() {
-		b := b
+
+	slots := make([][]Fig12Row, len(benches))
+	runner.ForEach(s.Workers, len(benches), func(i int) {
+		b := benches[i]
 		baseOps, baseCycles := s.runIPCWindow(runConfig{name: b.name, prog: b.prog},
 			prosper.Config{}, warmupOps, measureOps)
-		for _, gran := range []uint64{8, 64, 128} {
+		var rows []Fig12Row
+		for _, gran := range grans {
 			ops, cycles := s.runIPCWindow(runConfig{
 				name: b.name, prog: b.prog,
 				stackMech: persist.NewProsper(persist.ProsperConfig{Granularity: gran}),
@@ -71,9 +79,18 @@ func Fig12(s Scale) ([]Fig12Row, *stats.Table) {
 				trackIPC := float64(ops) / float64(cycles)
 				speedup = trackIPC / baseIPC
 			}
-			label := fmt.Sprintf("%dB", gran)
-			rows = append(rows, Fig12Row{b.name, label, speedup})
-			tb.AddRow(b.name, label, speedup)
+			rows = append(rows, Fig12Row{b.name, fmt.Sprintf("%dB", gran), speedup})
+		}
+		slots[i] = rows
+	})
+
+	tb := stats.NewTable("Figure 12: user-IPC speedup vs no dirty tracking (Prosper tracking active)",
+		"benchmark", "granularity", "speedup")
+	var rows []Fig12Row
+	for _, rs := range slots {
+		for _, r := range rs {
+			rows = append(rows, r)
+			tb.AddRow(r.Benchmark, r.Granularity, r.Speedup)
 		}
 	}
 	return rows, tb
@@ -97,8 +114,6 @@ type Fig13Row struct {
 // HWM (poor locality) and falls with a larger LWM.
 func Fig13(s Scale) ([]Fig13Row, *stats.Table) {
 	s = s.withDefaults()
-	tb := stats.NewTable("Figure 13: bitmap loads/stores vs HWM (LWM=4) and vs LWM (HWM=24)",
-		"benchmark", "param", "value", "bitmap_loads", "bitmap_stores")
 	benches := []struct {
 		name string
 		prog func() workload.Program
@@ -106,33 +121,43 @@ func Fig13(s Scale) ([]Fig13Row, *stats.Table) {
 		{"mcf", func() workload.Program { return workload.NewApp(workload.SpecMCF()) }},
 		{"g500_sssp", func() workload.Program { return workload.NewApp(workload.G500SSSP()) }},
 	}
-	var rows []Fig13Row
-	record := func(name, param string, value int, r RunStats) {
-		rows = append(rows, Fig13Row{name, param, value, r.TrackerBitmapLoads, r.TrackerBitmapStores})
-		tb.AddRow(name, param, value, r.TrackerBitmapLoads, r.TrackerBitmapStores)
+	type sweep struct {
+		param string
+		value int
+		cfg   prosper.Config
 	}
+	var sweeps []sweep
+	for _, hwm := range []int{8, 16, 24, 32} {
+		sweeps = append(sweeps, sweep{"hwm", hwm, prosper.Config{HWM: hwm, LWM: 4}})
+	}
+	for _, lwm := range []int{2, 4, 8, 12} {
+		sweeps = append(sweeps, sweep{"lwm", lwm, prosper.Config{HWM: 24, LWM: lwm}})
+	}
+
+	var rcs []runConfig
 	for _, b := range benches {
-		b := b
-		for _, hwm := range []int{8, 16, 24, 32} {
-			r := s.runWithTracker(b.name, b.prog, prosper.Config{HWM: hwm, LWM: 4})
-			record(b.name, "hwm", hwm, r)
+		for _, sw := range sweeps {
+			rcs = append(rcs, runConfig{
+				name: b.name, label: fmt.Sprintf("%s/%s=%d", b.name, sw.param, sw.value),
+				prog:      b.prog,
+				stackMech: persist.NewProsper(persist.ProsperConfig{}), ckpt: true,
+				tracker: sw.cfg,
+			})
 		}
-		for _, lwm := range []int{2, 4, 8, 12} {
-			r := s.runWithTracker(b.name, b.prog, prosper.Config{HWM: 24, LWM: lwm})
-			record(b.name, "lwm", lwm, r)
+	}
+	res := s.runPlan("fig13", rcs)
+
+	tb := stats.NewTable("Figure 13: bitmap loads/stores vs HWM (LWM=4) and vs LWM (HWM=24)",
+		"benchmark", "param", "value", "bitmap_loads", "bitmap_stores")
+	var rows []Fig13Row
+	for bi, b := range benches {
+		for si, sw := range sweeps {
+			r := res[bi*len(sweeps)+si]
+			rows = append(rows, Fig13Row{b.name, sw.param, sw.value, r.TrackerBitmapLoads, r.TrackerBitmapStores})
+			tb.AddRow(b.name, sw.param, sw.value, r.TrackerBitmapLoads, r.TrackerBitmapStores)
 		}
 	}
 	return rows, tb
-}
-
-// runWithTracker runs a workload with a custom tracker configuration.
-func (s Scale) runWithTracker(name string, prog func() workload.Program, trCfg prosper.Config) RunStats {
-	// The tracker configuration lives on the kernel; build a bespoke run.
-	sc := s
-	return sc.runCustom(runConfig{
-		name: name, prog: prog,
-		stackMech: persist.NewProsper(persist.ProsperConfig{}), ckpt: true,
-	}, trCfg)
 }
 
 // AblationRow compares the two lookup-table allocation policies.
@@ -148,9 +173,6 @@ type AblationRow struct {
 // III-B) against Load-and-Update on the Figure 13 workloads.
 func Ablation(s Scale) ([]AblationRow, *stats.Table) {
 	s = s.withDefaults()
-	tb := stats.NewTable("Ablation: lookup-table allocation policy",
-		"benchmark", "policy", "bitmap_loads", "bitmap_stores", "ipc")
-	var rows []AblationRow
 	benches := []struct {
 		name string
 		prog func() workload.Program
@@ -158,9 +180,26 @@ func Ablation(s Scale) ([]AblationRow, *stats.Table) {
 		{"mcf", func() workload.Program { return workload.NewApp(workload.SpecMCF()) }},
 		{"g500_sssp", func() workload.Program { return workload.NewApp(workload.G500SSSP()) }},
 	}
+	policies := []prosper.AllocPolicy{prosper.AccumulateApply, prosper.LoadUpdate}
+
+	var rcs []runConfig
 	for _, b := range benches {
-		for _, pol := range []prosper.AllocPolicy{prosper.AccumulateApply, prosper.LoadUpdate} {
-			r := s.runWithTracker(b.name, b.prog, prosper.Config{Policy: pol})
+		for _, pol := range policies {
+			rcs = append(rcs, runConfig{
+				name: b.name, label: b.name + "/" + pol.String(), prog: b.prog,
+				stackMech: persist.NewProsper(persist.ProsperConfig{}), ckpt: true,
+				tracker: prosper.Config{Policy: pol},
+			})
+		}
+	}
+	res := s.runPlan("ablation", rcs)
+
+	tb := stats.NewTable("Ablation: lookup-table allocation policy",
+		"benchmark", "policy", "bitmap_loads", "bitmap_stores", "ipc")
+	var rows []AblationRow
+	for bi, b := range benches {
+		for pi, pol := range policies {
+			r := res[bi*len(policies)+pi]
 			rows = append(rows, AblationRow{b.name, pol.String(), r.TrackerBitmapLoads, r.TrackerBitmapStores, r.IPC()})
 			tb.AddRow(b.name, pol.String(), r.TrackerBitmapLoads, r.TrackerBitmapStores, r.IPC())
 		}

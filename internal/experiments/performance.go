@@ -49,19 +49,33 @@ type Fig8Row struct {
 // stays behind Prosper even at 1 ms.
 func Fig8(s Scale) ([]Fig8Row, *stats.Table) {
 	s = s.withDefaults()
+	mechs := s.stackMechanisms()
+	benches := apps()
+
+	// Plan: per benchmark, one no-persistence baseline then every
+	// mechanism. Stride indexing recovers the pairs after execution.
+	var rcs []runConfig
+	for _, params := range benches {
+		params := params
+		prog := func() workload.Program { return workload.NewApp(params) }
+		rcs = append(rcs, runConfig{name: params.Name, label: params.Name + "/base", prog: prog})
+		for _, m := range mechs {
+			rcs = append(rcs, runConfig{
+				name: params.Name, label: params.Name + "/" + m.name, prog: prog,
+				stackMech: m.factory, ckpt: true,
+			})
+		}
+	}
+	res := s.runPlan("fig8", rcs)
+
 	tb := stats.NewTable("Figure 8: stack persistence, execution time normalized to no-persistence",
 		"benchmark", "mechanism", "normalized_time")
 	var rows []Fig8Row
-	for _, params := range apps() {
-		params := params
-		base := s.run(runConfig{
-			name: params.Name, prog: func() workload.Program { return workload.NewApp(params) },
-		})
-		for _, m := range s.stackMechanisms() {
-			r := s.run(runConfig{
-				name: params.Name, prog: func() workload.Program { return workload.NewApp(params) },
-				stackMech: m.factory, ckpt: true,
-			})
+	stride := 1 + len(mechs)
+	for bi, params := range benches {
+		base := res[bi*stride]
+		for mi, m := range mechs {
+			r := res[bi*stride+1+mi]
 			norm := 0.0
 			if r.UserOps > 0 {
 				norm = float64(base.UserOps) / float64(r.UserOps)
@@ -90,9 +104,6 @@ type Fig9Row struct {
 // better than SSP-everywhere at 10 µs.
 func Fig9(s Scale) ([]Fig9Row, *stats.Table) {
 	s = s.withDefaults()
-	tb := stats.NewTable("Figure 9: memory-state persistence (heap+stack), normalized to no-persistence",
-		"benchmark", "combination", "ssp_interval", "normalized_time")
-	var rows []Fig9Row
 	intervals := []struct {
 		name  string
 		paper sim.Time
@@ -101,34 +112,47 @@ func Fig9(s Scale) ([]Fig9Row, *stats.Table) {
 		{"100us", 100 * sim.Microsecond},
 		{"1ms", 1 * sim.Millisecond},
 	}
-	for _, params := range apps() {
+	comboNames := []string{"ssp", "ssp+dirtybit", "ssp+prosper"}
+	benches := apps()
+
+	var rcs []runConfig
+	for _, params := range benches {
 		params := params
-		base := s.run(runConfig{
-			name: params.Name, prog: func() workload.Program { return workload.NewApp(params) },
-		})
+		prog := func() workload.Program { return workload.NewApp(params) }
+		rcs = append(rcs, runConfig{name: params.Name, label: params.Name + "/base", prog: prog})
 		for _, iv := range intervals {
-			heap := func() persist.Factory {
-				return persist.NewSSP(persist.SSPConfig{ConsolidationInterval: s.consolidation(iv.paper)})
+			heap := persist.NewSSP(persist.SSPConfig{ConsolidationInterval: s.consolidation(iv.paper)})
+			stacks := []persist.Factory{
+				persist.NewSSP(persist.SSPConfig{ConsolidationInterval: s.consolidation(iv.paper)}),
+				persist.NewDirtybit(persist.DirtybitConfig{}),
+				persist.NewProsper(persist.ProsperConfig{}),
 			}
-			combos := []struct {
-				name  string
-				stack persist.Factory
-			}{
-				{"ssp", persist.NewSSP(persist.SSPConfig{ConsolidationInterval: s.consolidation(iv.paper)})},
-				{"ssp+dirtybit", persist.NewDirtybit(persist.DirtybitConfig{})},
-				{"ssp+prosper", persist.NewProsper(persist.ProsperConfig{})},
-			}
-			for _, c := range combos {
-				r := s.run(runConfig{
-					name: params.Name, prog: func() workload.Program { return workload.NewApp(params) },
-					stackMech: c.stack, heapMech: heap(), ckpt: true,
+			for ci, stack := range stacks {
+				rcs = append(rcs, runConfig{
+					name:  params.Name,
+					label: fmt.Sprintf("%s/%s@%s", params.Name, comboNames[ci], iv.name),
+					prog:  prog, stackMech: stack, heapMech: heap, ckpt: true,
 				})
+			}
+		}
+	}
+	res := s.runPlan("fig9", rcs)
+
+	tb := stats.NewTable("Figure 9: memory-state persistence (heap+stack), normalized to no-persistence",
+		"benchmark", "combination", "ssp_interval", "normalized_time")
+	var rows []Fig9Row
+	stride := 1 + len(intervals)*len(comboNames)
+	for bi, params := range benches {
+		base := res[bi*stride]
+		for ii, iv := range intervals {
+			for ci, combo := range comboNames {
+				r := res[bi*stride+1+ii*len(comboNames)+ci]
 				norm := 0.0
 				if r.UserOps > 0 {
 					norm = float64(base.UserOps) / float64(r.UserOps)
 				}
-				rows = append(rows, Fig9Row{params.Name, c.name, iv.name, norm})
-				tb.AddRow(params.Name, c.name, iv.name, norm)
+				rows = append(rows, Fig9Row{params.Name, combo, iv.name, norm})
+				tb.AddRow(params.Name, combo, iv.name, norm)
 			}
 		}
 	}
@@ -165,6 +189,9 @@ func microBenches() []struct {
 	}
 }
 
+// fig10Grans are the sub-page tracking granularities swept by Figure 10.
+var fig10Grans = []uint64{8, 16, 32, 64, 128}
+
 // Fig10 reproduces Figure 10: per-checkpoint stack copy size (a) and
 // checkpoint time normalized to page-level Dirtybit (b) for the Table III
 // micro-benchmarks across tracking granularities 8..128 bytes.
@@ -175,22 +202,33 @@ func microBenches() []struct {
 // inspection work.
 func Fig10(s Scale) ([]Fig10Row, *stats.Table) {
 	s = s.withDefaults()
+	benches := microBenches()
+
+	var rcs []runConfig
+	for _, mb := range benches {
+		rcs = append(rcs, runConfig{
+			name: mb.name, label: mb.name + "/page", prog: mb.prog,
+			stackMech: persist.NewDirtybit(persist.DirtybitConfig{}), ckpt: true,
+		})
+		for _, gran := range fig10Grans {
+			rcs = append(rcs, runConfig{
+				name: mb.name, label: fmt.Sprintf("%s/%dB", mb.name, gran), prog: mb.prog,
+				stackMech: persist.NewProsper(persist.ProsperConfig{Granularity: gran}), ckpt: true,
+			})
+		}
+	}
+	res := s.runPlan("fig10", rcs)
+
 	tb := stats.NewTable("Figure 10: checkpoint size and time vs tracking granularity (micro-benchmarks)",
 		"benchmark", "granularity", "mean_ckpt_bytes", "time_vs_dirtybit")
 	var rows []Fig10Row
-	for _, mb := range microBenches() {
-		mb := mb
-		dirty := s.run(runConfig{
-			name: mb.name, prog: mb.prog,
-			stackMech: persist.NewDirtybit(persist.DirtybitConfig{}), ckpt: true,
-		})
+	stride := 1 + len(fig10Grans)
+	for bi, mb := range benches {
+		dirty := res[bi*stride]
 		rows = append(rows, Fig10Row{mb.name, "page", dirty.MeanStackCkptBytes(), 1})
 		tb.AddRow(mb.name, "page", dirty.MeanStackCkptBytes(), 1.0)
-		for _, gran := range []uint64{8, 16, 32, 64, 128} {
-			r := s.run(runConfig{
-				name: mb.name, prog: mb.prog,
-				stackMech: persist.NewProsper(persist.ProsperConfig{Granularity: gran}), ckpt: true,
-			})
+		for gi, gran := range fig10Grans {
+			r := res[bi*stride+1+gi]
 			norm := 0.0
 			if dirty.MeanStackCkptCycles() > 0 {
 				norm = r.MeanStackCkptCycles() / dirty.MeanStackCkptCycles()
@@ -221,8 +259,6 @@ type Fig11Row struct {
 // per-byte cost).
 func Fig11(s Scale) ([]Fig11Row, *stats.Table) {
 	s = s.withDefaults()
-	tb := stats.NewTable("Figure 11: checkpoint size vs checkpoint interval (function-call benchmarks)",
-		"benchmark", "interval", "mean_ckpt_bytes", "ns_per_byte")
 	benches := []struct {
 		name string
 		prog func() workload.Program
@@ -241,16 +277,26 @@ func Fig11(s Scale) ([]Fig11Row, *stats.Table) {
 		{"5ms", 2},
 		{"10ms", 1},
 	}
-	var rows []Fig11Row
+
+	var rcs []runConfig
 	for _, b := range benches {
 		for _, iv := range intervals {
-			sc := s
-			sc.Interval = s.Interval / iv.frac
-			sc.Checkpoints = s.Checkpoints * int(iv.frac)
-			r := sc.run(runConfig{
-				name: b.name, prog: b.prog,
+			rcs = append(rcs, runConfig{
+				name: b.name, label: b.name + "@" + iv.name, prog: b.prog,
 				stackMech: persist.NewProsper(persist.ProsperConfig{}), ckpt: true,
+				interval:    s.Interval / iv.frac,
+				checkpoints: s.Checkpoints * int(iv.frac),
 			})
+		}
+	}
+	res := s.runPlan("fig11", rcs)
+
+	tb := stats.NewTable("Figure 11: checkpoint size vs checkpoint interval (function-call benchmarks)",
+		"benchmark", "interval", "mean_ckpt_bytes", "ns_per_byte")
+	var rows []Fig11Row
+	for bi, b := range benches {
+		for ii, iv := range intervals {
+			r := res[bi*len(intervals)+ii]
 			perByte := 0.0
 			if r.StackCkptBytes > 0 {
 				perByte = float64(r.StackCkptCycles) / float64(r.StackCkptBytes) / 3.0 // cycles->ns

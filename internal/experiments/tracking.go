@@ -24,8 +24,6 @@ type TrackingCostRow struct {
 // gap proportional to its fault count.
 func TrackingCost(s Scale) ([]TrackingCostRow, *stats.Table) {
 	s = s.withDefaults()
-	tb := stats.NewTable("Section II-B: dirty-tracking technique cost (normalized execution time)",
-		"benchmark", "technique", "normalized_time", "write_faults")
 	benches := []struct {
 		name string
 		prog func() workload.Program
@@ -43,15 +41,27 @@ func TrackingCost(s Scale) ([]TrackingCostRow, *stats.Table) {
 		{"dirtybit", persist.NewDirtybit(persist.DirtybitConfig{})},
 		{"prosper", persist.NewProsper(persist.ProsperConfig{})},
 	}
-	var rows []TrackingCostRow
+
+	var rcs []runConfig
 	for _, b := range benches {
-		b := b
-		base := s.run(runConfig{name: b.name, prog: b.prog})
+		rcs = append(rcs, runConfig{name: b.name, label: b.name + "/base", prog: b.prog})
 		for _, tech := range techniques {
-			r := s.run(runConfig{
-				name: b.name, prog: b.prog,
+			rcs = append(rcs, runConfig{
+				name: b.name, label: b.name + "/" + tech.name, prog: b.prog,
 				stackMech: tech.factory, ckpt: true,
 			})
+		}
+	}
+	res := s.runPlan("tracking", rcs)
+
+	tb := stats.NewTable("Section II-B: dirty-tracking technique cost (normalized execution time)",
+		"benchmark", "technique", "normalized_time", "write_faults")
+	var rows []TrackingCostRow
+	stride := 1 + len(techniques)
+	for bi, b := range benches {
+		base := res[bi*stride]
+		for ti, tech := range techniques {
+			r := res[bi*stride+1+ti]
 			norm := 0.0
 			if r.UserOps > 0 {
 				norm = float64(base.UserOps) / float64(r.UserOps)

@@ -2,6 +2,7 @@ package persist
 
 import (
 	"math/bits"
+	"slices"
 
 	"prosper/internal/machine"
 	"prosper/internal/mem"
@@ -134,10 +135,19 @@ func (s *SSP) consolidateTick() {
 		}
 		s.Counters.Add("ssp.metadata_reads", uint64(metaLines))
 	}
-	for page, lines := range s.pending {
+	// Walk pending pages in address order: these accesses contend with
+	// the application on the timed NVM device, so map-iteration order
+	// would leak nondeterminism into every co-running measurement.
+	pages := make([]uint64, 0, len(s.pending))
+	for page := range s.pending {
+		pages = append(pages, page)
+	}
+	slices.Sort(pages)
+	for _, page := range pages {
 		if s.hot[page] {
 			continue
 		}
+		lines := s.pending[page]
 		delete(s.pending, page)
 		n := bits.OnesCount64(lines)
 		s.Counters.Add("ssp.consolidated_lines", uint64(n))
@@ -151,7 +161,8 @@ func (s *SSP) consolidateTick() {
 			s.env.Mach.Ctl.Access(true, lineAddr, nil)  // write the other
 		}
 	}
-	// Pages written during this tick become pending for the next.
+	// Pages written during this tick become pending for the next. The
+	// merge is commutative, so map order is harmless here.
 	for page := range s.hot {
 		s.pending[page] |= s.working[page]
 		delete(s.hot, page)

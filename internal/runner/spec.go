@@ -1,0 +1,246 @@
+// Package runner turns experiment configurations into declarative run
+// plans and executes them on a bounded worker pool.
+//
+// A Spec is one independent simulation run: the workload, the
+// persistence mechanisms under test, the machine shape, and the scaled
+// measurement window. A Plan is a named list of Specs; an Executor fans
+// a plan's specs out across workers (default GOMAXPROCS), each worker
+// building its own kernel and machine so nothing is shared between
+// runs. Results come back as RunStats in plan order, so rendered output
+// is byte-identical regardless of the worker count: determinism is
+// per-run (every spec owns a private sim.Engine), and the plan order —
+// not completion order — defines the output order.
+package runner
+
+import (
+	"prosper/internal/kernel"
+	"prosper/internal/machine"
+	"prosper/internal/persist"
+	"prosper/internal/prosper"
+	"prosper/internal/sim"
+	"prosper/internal/workload"
+)
+
+// Spec describes one independent measured run of the standard
+// single-process workload. It is a value type: copying a Spec is cheap
+// and a Spec never owns live simulation state.
+type Spec struct {
+	// Name is the benchmark/process name, recorded as RunStats.Name.
+	Name string
+	// Label is the display name used by progress reporting; empty means
+	// Name. Plans give each spec a distinct label (e.g. bench/mechanism)
+	// while several specs share one benchmark Name.
+	Label string
+	// Prog constructs one workload program per thread. It is called from
+	// the executor's worker goroutine, so it must not touch shared
+	// mutable state (all constructors in internal/workload are pure).
+	Prog func() workload.Program
+	// StackMech/HeapMech are the persistence mechanisms under test; nil
+	// means none (the no-persistence baseline).
+	StackMech persist.Factory
+	HeapMech  persist.Factory
+	// Checkpoint enables periodic checkpoints every Interval.
+	Checkpoint bool
+	Cores      int
+	Threads    int
+	// Tracker configures the per-core Prosper dirty trackers (the Fig 13
+	// HWM/LWM sweeps and the allocation-policy ablation); the zero value
+	// is the default configuration.
+	Tracker prosper.Config
+
+	// Interval is the consistency/checkpoint interval; Checkpoints is
+	// how many intervals the measured window covers; Warmup runs before
+	// measurement starts.
+	Interval    sim.Time
+	Checkpoints int
+	Warmup      sim.Time
+
+	// StackReserve and HeapSize size the process segments.
+	StackReserve uint64
+	HeapSize     uint64
+	Seed         uint64
+}
+
+// DisplayLabel returns Label, falling back to Name.
+func (sp Spec) DisplayLabel() string {
+	if sp.Label != "" {
+		return sp.Label
+	}
+	return sp.Name
+}
+
+// withDefaults fills zero fields with the same standard scaled-down
+// configuration experiments.DefaultScale uses, so a bare Spec is
+// runnable in tests. (Warmup deliberately has no default: zero warmup
+// is a valid configuration.)
+func (sp Spec) withDefaults() Spec {
+	if sp.Cores <= 0 {
+		sp.Cores = 1
+	}
+	if sp.Threads <= 0 {
+		sp.Threads = 1
+	}
+	if sp.Interval == 0 {
+		sp.Interval = 200 * sim.Microsecond
+	}
+	if sp.Checkpoints == 0 {
+		sp.Checkpoints = 10
+	}
+	if sp.StackReserve == 0 {
+		sp.StackReserve = 1 << 20
+	}
+	if sp.HeapSize == 0 {
+		sp.HeapSize = 64 << 20
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 1
+	}
+	return sp
+}
+
+// RunStats is the outcome of one measured run.
+type RunStats struct {
+	Name      string
+	Mechanism string
+
+	UserOps    uint64
+	UserCycles uint64
+
+	Checkpoints     uint64
+	CheckpointBytes uint64
+	StackCkptBytes  uint64
+	StackCkptCycles uint64
+	StackCkptMeta   uint64
+	HeapCkptBytes   uint64
+	HeapCkptCycles  uint64
+
+	TrackerBitmapLoads  uint64
+	TrackerBitmapStores uint64
+	TrackerSOIs         uint64
+	TrackerUpdates      uint64
+	TrackerWritebacks   uint64
+
+	CtxSwitches  uint64
+	CtxSwitchIn  uint64
+	CtxSwitchOut uint64
+
+	WriteFaults uint64 // write-permission faults (WriteProtect tracking)
+
+	Elapsed sim.Time // measured window duration (warmup excluded)
+	SimEnd  sim.Time // absolute simulated time when the run finished
+}
+
+// IPC returns the user-mode instructions-per-cycle of the run.
+func (r RunStats) IPC() float64 {
+	if r.UserCycles == 0 {
+		return 0
+	}
+	return float64(r.UserOps) / float64(r.UserCycles)
+}
+
+// MeanStackCkptBytes returns the average per-checkpoint stack copy size.
+func (r RunStats) MeanStackCkptBytes() float64 {
+	if r.Checkpoints == 0 {
+		return 0
+	}
+	return float64(r.StackCkptBytes) / float64(r.Checkpoints)
+}
+
+// MeanStackCkptCycles returns the average stack checkpoint duration.
+func (r RunStats) MeanStackCkptCycles() float64 {
+	if r.Checkpoints == 0 {
+		return 0
+	}
+	return float64(r.StackCkptCycles) / float64(r.Checkpoints)
+}
+
+// Run executes the spec on a freshly built kernel and machine and
+// collects stats over the measured window. Every call builds a private
+// sim.Engine, so concurrent Runs of distinct Spec values never share
+// state and each run's results depend only on the spec itself.
+func (sp Spec) Run() RunStats {
+	sp = sp.withDefaults()
+	k := kernel.New(kernel.Config{
+		Machine:    machine.Config{Cores: sp.Cores},
+		Quantum:    sp.Interval / 2,
+		TrackerCfg: sp.Tracker,
+	})
+	pc := kernel.ProcessConfig{
+		Name:         sp.Name,
+		StackMech:    sp.StackMech,
+		HeapMech:     sp.HeapMech,
+		StackReserve: sp.StackReserve,
+		HeapSize:     sp.HeapSize,
+		PremapHeap:   true, // measure warmed-up steady state (paper warms 1 min)
+		Seed:         sp.Seed,
+	}
+	if sp.Checkpoint {
+		pc.CheckpointInterval = sp.Interval
+	}
+	progs := make([]workload.Program, sp.Threads)
+	for i := range progs {
+		progs[i] = sp.Prog()
+	}
+	p := k.Spawn(pc, progs...)
+	defer p.Shutdown()
+
+	k.RunFor(sp.Warmup)
+	var opsBase, cyclesBase uint64
+	for _, t := range p.Threads {
+		opsBase += t.UserOps
+		cyclesBase += t.UserCycles
+	}
+	ckptBase := p.CheckpointCount
+	ckptBytesBase := p.CheckpointBytes
+	stackBytesBase := p.Counters.Get("proc.stack_ckpt_bytes")
+	stackCyclesBase := p.Counters.Get("proc.stack_ckpt_cycles")
+	stackMetaBase := p.Counters.Get("proc.stack_ckpt_meta")
+	heapBytesBase := p.Counters.Get("proc.heap_ckpt_bytes")
+	heapCyclesBase := p.Counters.Get("proc.heap_ckpt_cycles")
+	trSnap := trackerSnapshot(k)
+	wfBase := uint64(p.AS.WriteFaults())
+	start := k.Eng.Now()
+
+	k.RunFor(sp.Interval * sim.Time(sp.Checkpoints))
+
+	res := RunStats{Name: sp.Name, Elapsed: k.Eng.Now() - start}
+	for _, t := range p.Threads {
+		res.UserOps += t.UserOps
+		res.UserCycles += t.UserCycles
+	}
+	res.UserOps -= opsBase
+	res.UserCycles -= cyclesBase
+	res.Checkpoints = p.CheckpointCount - ckptBase
+	res.CheckpointBytes = p.CheckpointBytes - ckptBytesBase
+	res.StackCkptBytes = p.Counters.Get("proc.stack_ckpt_bytes") - stackBytesBase
+	res.StackCkptCycles = p.Counters.Get("proc.stack_ckpt_cycles") - stackCyclesBase
+	res.StackCkptMeta = p.Counters.Get("proc.stack_ckpt_meta") - stackMetaBase
+	res.HeapCkptBytes = p.Counters.Get("proc.heap_ckpt_bytes") - heapBytesBase
+	res.HeapCkptCycles = p.Counters.Get("proc.heap_ckpt_cycles") - heapCyclesBase
+	trEnd := trackerSnapshot(k)
+	res.TrackerBitmapLoads = trEnd.loads - trSnap.loads
+	res.TrackerBitmapStores = trEnd.stores - trSnap.stores
+	res.TrackerSOIs = trEnd.sois - trSnap.sois
+	res.TrackerWritebacks = trEnd.writebacks - trSnap.writebacks
+	res.TrackerUpdates = res.TrackerSOIs // one table update per SOI granule (approx.)
+	res.WriteFaults = uint64(p.AS.WriteFaults()) - wfBase
+	res.CtxSwitches = k.Counters.Get("kernel.context_switches")
+	res.CtxSwitchIn = k.Counters.Get("kernel.ctxswitch_in_cycles")
+	res.CtxSwitchOut = k.Counters.Get("kernel.ctxswitch_out_cycles")
+	res.SimEnd = k.Eng.Now()
+	return res
+}
+
+type trackerSnap struct{ loads, stores, sois, writebacks uint64 }
+
+func trackerSnapshot(k *kernel.Kernel) trackerSnap {
+	var out trackerSnap
+	for _, tr := range k.Trackers {
+		out.loads += tr.Counters.Get("prosper.bitmap_loads")
+		out.stores += tr.Counters.Get("prosper.bitmap_stores")
+		out.sois += tr.Counters.Get("prosper.sois")
+		out.writebacks += tr.Counters.Get("prosper.hwm_writebacks") +
+			tr.Counters.Get("prosper.evictions") + tr.Counters.Get("prosper.flushes")
+	}
+	return out
+}

@@ -49,9 +49,9 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	ev := old[n-1]
@@ -79,6 +79,18 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events waiting in the queue.
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// AssertDrained returns nil when no events are pending, or an error
+// naming the leftover count and the next due timestamp. Tests use it to
+// prove a simulation wound down completely instead of abandoning queued
+// work (e.g. the runner's per-spec engines after a measured window).
+func (e *Engine) AssertDrained() error {
+	if len(e.queue) == 0 {
+		return nil
+	}
+	return fmt.Errorf("sim: %d events still pending, next at cycle %d (now %d)",
+		len(e.queue), e.queue[0].when, e.now)
+}
 
 // Schedule runs fn delay cycles from now. A negative delay panics: the
 // simulator never travels backwards.
@@ -118,9 +130,9 @@ func (e *Engine) Run() {
 }
 
 // RunUntil executes events with timestamps <= deadline, leaving later
-// events queued. The clock is left at min(deadline, last fired event);
-// it is advanced to deadline so subsequent Schedule calls are relative to
-// the deadline.
+// events queued. The clock is then advanced to deadline (even when the
+// last fired event was earlier), so subsequent Schedule calls are
+// relative to the deadline.
 func (e *Engine) RunUntil(deadline Time) {
 	for len(e.queue) > 0 && e.queue[0].when <= deadline {
 		e.Step()
