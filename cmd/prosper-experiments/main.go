@@ -23,11 +23,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"prosper/internal/experiments"
 	"prosper/internal/sim"
 	"prosper/internal/stats"
+	"prosper/internal/telemetry"
 )
 
 type experiment struct {
@@ -45,6 +47,12 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation runs per experiment")
 	list := flag.Bool("list", false, "print the experiment registry and exit")
 	progress := flag.Bool("progress", true, "report per-run progress (spec, sim cycles, wall seconds) on stderr")
+	progressJSON := flag.String("progress-json", "", "also append per-run progress records as JSON lines to FILE")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event / Perfetto JSON trace of every run to FILE")
+	metricsOut := flag.String("metrics-out", "", "write periodic metrics-registry snapshots as JSON lines to FILE")
+	sampleEvery := flag.Int64("sample-every", 30_000, "telemetry sampling cadence in simulated cycles (30000 = 10 µs)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to FILE")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to FILE at exit")
 	flag.Parse()
 
 	scale := experiments.DefaultScale()
@@ -54,6 +62,26 @@ func main() {
 	scale.Workers = *parallel
 	if *progress {
 		scale.Log = stats.NewRunLog(os.Stderr)
+	} else if *progressJSON != "" {
+		scale.Log = stats.NewRunLog(nil)
+	}
+	if *progressJSON != "" {
+		f := mustCreate(*progressJSON)
+		defer f.Close()
+		scale.Log.StreamJSON(f)
+	}
+	if *traceOut != "" || *metricsOut != "" {
+		scale.Trace = telemetry.NewTrace()
+		scale.SampleEvery = sim.Time(*sampleEvery)
+	}
+	if *cpuprofile != "" {
+		f := mustCreate(*cpuprofile)
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "prosper-experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	exps := []experiment{
@@ -129,6 +157,42 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[%s completed in %v wall time, %d workers]\n",
 			e.name, time.Since(start).Round(time.Millisecond), *parallel)
+	}
+
+	if *traceOut != "" {
+		f := mustCreate(*traceOut)
+		check(scale.Trace.WriteJSON(f))
+		check(f.Close())
+		fmt.Fprintf(os.Stderr, "[trace written to %s — open it at https://ui.perfetto.dev]\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		f := mustCreate(*metricsOut)
+		check(scale.Trace.WriteMetricsJSONL(f))
+		check(f.Close())
+	}
+	if *memprofile != "" {
+		f := mustCreate(*memprofile)
+		runtime.GC()
+		check(pprof.WriteHeapProfile(f))
+		check(f.Close())
+	}
+}
+
+// mustCreate opens an output file or exits with a diagnostic.
+func mustCreate(path string) *os.File {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prosper-experiments:", err)
+		os.Exit(1)
+	}
+	return f
+}
+
+// check exits with a diagnostic on a failed output write.
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prosper-experiments:", err)
+		os.Exit(1)
 	}
 }
 

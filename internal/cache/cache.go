@@ -229,6 +229,14 @@ func (c *Cache) retryBlocked() {
 	}
 }
 
+// MSHRsInUse returns how many miss-status registers hold in-flight
+// misses right now; telemetry samples it against cfg.MSHRs.
+func (c *Cache) MSHRsInUse() int { return len(c.mshrs) }
+
+// BlockedAccesses returns how many accesses are stalled on MSHR
+// exhaustion right now.
+func (c *Cache) BlockedAccesses() int { return len(c.blocked) }
+
 // Contains reports whether the line holding addr is resident (test hook).
 func (c *Cache) Contains(addr uint64) bool { return c.lookup(mem.LineOf(addr)) != nil }
 

@@ -25,6 +25,7 @@ import (
 	"prosper/internal/runner"
 	"prosper/internal/sim"
 	"prosper/internal/stats"
+	"prosper/internal/telemetry"
 	"prosper/internal/workload"
 )
 
@@ -49,6 +50,15 @@ type Scale struct {
 	// Log, when non-nil, receives one record per completed run (spec
 	// label, simulated cycles, wall-clock time) as runs finish.
 	Log *stats.RunLog
+
+	// Trace, when non-nil, collects per-run sim-time telemetry: every
+	// spec of every plan gets its own tracer lane, allocated in plan
+	// order (before execution starts), so the serialized trace bytes are
+	// identical for any Workers value.
+	Trace *telemetry.Trace
+	// SampleEvery is the telemetry occupancy/metrics sampling cadence in
+	// cycles (0: the kernel's 10 µs default).
+	SampleEvery sim.Time
 }
 
 // DefaultScale is the standard scaled-down configuration: 200 µs
@@ -178,6 +188,10 @@ func (s Scale) runPlan(figure string, rcs []runConfig) []RunStats {
 		sp := s.spec(rc)
 		if figure != "" {
 			sp.Label = figure + "/" + sp.DisplayLabel()
+		}
+		if s.Trace != nil {
+			sp.Tracer = s.Trace.NewTracer(sp.DisplayLabel())
+			sp.SampleEvery = s.SampleEvery
 		}
 		specs[i] = sp
 	}

@@ -3,6 +3,7 @@ package kernel
 import (
 	"prosper/internal/mem"
 	"prosper/internal/persist"
+	"prosper/internal/telemetry"
 	"prosper/internal/workload"
 )
 
@@ -20,6 +21,8 @@ func (k *Kernel) checkpointProcess(p *Process, done func()) {
 	}
 	p.checkpointing = true
 	start := k.Eng.Now()
+	epoch := k.Trace.Begin(p.traceTrack, "checkpoint")
+	quiesce := k.Trace.Begin(p.traceTrack, "quiesce")
 
 	// Phase 1: quiesce all threads.
 	remaining := len(p.Threads)
@@ -27,14 +30,18 @@ func (k *Kernel) checkpointProcess(p *Process, done func()) {
 		k.pauseThread(t, func() {
 			remaining--
 			if remaining == 0 {
-				k.checkpointPaused(p, start, done)
+				quiesce.End(telemetry.I("threads", int64(len(p.Threads))))
+				k.checkpointPaused(p, start, epoch, done)
 			}
 		})
 	}
 }
 
-// checkpointPaused runs once every thread is parked.
-func (k *Kernel) checkpointPaused(p *Process, start int64, done func()) {
+// checkpointPaused runs once every thread is parked. epoch is the
+// whole-checkpoint telemetry span opened at trigger time (zero when
+// telemetry is disabled); phase spans for the stack, heap, and commit
+// steps nest under it on the process's checkpoint lane.
+func (k *Kernel) checkpointPaused(p *Process, start int64, epoch telemetry.Span, done func()) {
 	// Phase 2: register + program state, then segments (thread stacks in
 	// TID order — sequential by default, concurrent when configured —
 	// then the heap).
@@ -42,13 +49,16 @@ func (k *Kernel) checkpointPaused(p *Process, start int64, done func()) {
 	var ckptBytes uint64
 	var stackBytes uint64
 	var nextStack func()
+	stacks := k.Trace.Begin(p.traceTrack, "persist-stacks")
 	finish := func() {
 		// Phase 4: commit the checkpoint by bumping the sequence number
 		// in the header (a single NVM line write is the commit point).
+		commit := k.Trace.Begin(p.traceTrack, "commit")
 		p.ckptSeq++
 		seqBuf := make([]byte, 8)
 		putU64(seqBuf, 0, p.ckptSeq)
 		k.Mach.WritePhys(p.headerAddr, seqBuf, func() {
+			commit.End(telemetry.U("seq", p.ckptSeq))
 			elapsed := k.Eng.Now() - start
 			p.CheckpointCount++
 			p.CheckpointBytes += ckptBytes
@@ -69,21 +79,33 @@ func (k *Kernel) checkpointPaused(p *Process, start int64, done func()) {
 			if p.heapMech != nil {
 				p.heapMech.BeginInterval()
 			}
+			epoch.End(
+				telemetry.U("bytes", ckptBytes),
+				telemetry.U("pages", (ckptBytes+mem.PageSize-1)/mem.PageSize),
+				telemetry.U("stack_bytes", stackBytes),
+				telemetry.U("seq", p.ckptSeq),
+			)
 			if done != nil {
 				done()
 			}
 		})
 	}
 	heapPhase := func() {
+		stacks.End(
+			telemetry.U("bytes", stackBytes),
+			telemetry.U("pages", (stackBytes+mem.PageSize-1)/mem.PageSize),
+		)
 		if p.heapMech == nil {
 			finish()
 			return
 		}
 		hs := k.Eng.Now()
+		heap := k.Trace.Begin(p.traceTrack, "persist-heap")
 		p.heapMech.Checkpoint(func(r persist.Result) {
 			ckptBytes += r.BytesCopied
 			p.Counters.Add("proc.heap_ckpt_bytes", r.BytesCopied)
 			p.Counters.Add("proc.heap_ckpt_cycles", uint64(k.Eng.Now()-hs))
+			heap.End(telemetry.U("bytes", r.BytesCopied))
 			finish()
 		})
 	}

@@ -16,6 +16,7 @@ import (
 	"prosper/internal/prosper"
 	"prosper/internal/sim"
 	"prosper/internal/stats"
+	"prosper/internal/telemetry"
 )
 
 // Config sizes the kernel and the machine beneath it.
@@ -33,6 +34,14 @@ type Config struct {
 	// contend in the memory system but overlap their latencies. Still
 	// fully deterministic (the event engine fixes the interleaving).
 	ParallelStackCheckpoint bool
+	// Tracer, when non-nil, receives sim-time telemetry: checkpoint
+	// phase spans, tracker flush/HWM/eviction instants, and periodic
+	// occupancy samples of the memory system. Nil (the default) keeps
+	// every instrumentation site on its zero-cost fast path.
+	Tracer *telemetry.Tracer
+	// SampleEvery is the occupancy/metrics sampling cadence in cycles
+	// (default 10 µs of sim time); only meaningful with a Tracer.
+	SampleEvery sim.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -59,6 +68,11 @@ type Kernel struct {
 	super *superblock
 
 	Counters *stats.Counters
+	// Metrics is the hierarchical registry adopting every component's
+	// counters under the stable dotted names DumpStats prints.
+	Metrics *telemetry.Registry
+	// Trace is the kernel's tracer (nil when telemetry is disabled).
+	Trace *telemetry.Tracer
 }
 
 type coreState struct {
@@ -93,7 +107,89 @@ func New(cfg Config) *Kernel {
 		cs := cs
 		m.Eng.NewTicker(cfg.Quantum, func() { k.timerTick(cs) })
 	}
+	k.buildMetrics()
+	k.startTelemetry()
 	return k
+}
+
+// buildMetrics registers every component's counters in the registry, in
+// the section order DumpStats has always printed.
+func (k *Kernel) buildMetrics() {
+	m := k.Mach
+	r := telemetry.NewRegistry()
+	r.Register("kernel", k.Counters)
+	for i, cs := range k.cores {
+		r.Register(fmt.Sprintf("core%d", i), cs.core.Counters)
+		r.Register(fmt.Sprintf("core%d.tlb", i), cs.core.TLB.Counters)
+	}
+	for i, c := range m.Hier.L1D {
+		r.Register(fmt.Sprintf("l1d%d", i), c.Counters)
+	}
+	for i, c := range m.Hier.L2 {
+		r.Register(fmt.Sprintf("l2_%d", i), c.Counters)
+	}
+	r.Register("l3", m.Hier.L3.Counters)
+	r.Register("dram", m.Ctl.DRAM.Counters)
+	r.Register("nvm", m.Ctl.NVM.Counters)
+	r.Register("machine", m.Counters)
+	for i, tr := range k.Trackers {
+		r.Register(fmt.Sprintf("tracker%d", i), tr.Counters)
+	}
+	k.Metrics = r
+}
+
+// startTelemetry binds the tracer to the engine, gives the trackers
+// their event lanes, and starts the periodic occupancy/metrics sampler.
+// With a nil tracer it does nothing: no lanes, no ticker, no events.
+func (k *Kernel) startTelemetry() {
+	k.Trace = k.Cfg.Tracer
+	if !k.Trace.Enabled() {
+		return
+	}
+	m := k.Mach
+	k.Trace.Bind(m.Eng)
+	var probes []telemetry.CounterProbe
+	memTrack := k.Trace.Track("memory")
+	for _, d := range []*mem.Device{m.Ctl.DRAM, m.Ctl.NVM} {
+		d := d
+		probes = append(probes,
+			telemetry.CounterProbe{Track: memTrack, Name: d.Name() + ".read_queue", Series: "depth",
+				Get: func() int64 { return int64(d.ReadQueueDepth()) }},
+			telemetry.CounterProbe{Track: memTrack, Name: d.Name() + ".write_queue", Series: "depth",
+				Get: func() int64 { return int64(d.WriteQueueDepth()) }},
+		)
+	}
+	probes = append(probes, telemetry.CounterProbe{Track: memTrack, Name: "l3.mshrs", Series: "in_use",
+		Get: func() int64 { return int64(m.Hier.L3.MSHRsInUse()) }})
+	for i, c := range m.Hier.L1D {
+		c := c
+		probes = append(probes, telemetry.CounterProbe{Track: memTrack,
+			Name: fmt.Sprintf("l1d%d.mshrs", i), Series: "in_use",
+			Get: func() int64 { return int64(c.MSHRsInUse()) }})
+	}
+	for i, cs := range k.cores {
+		core := cs.core
+		probes = append(probes, telemetry.CounterProbe{Track: memTrack,
+			Name: fmt.Sprintf("core%d.store_buffer", i), Series: "in_use",
+			Get: func() int64 { return int64(core.StoreBufferInUse()) }})
+	}
+	for i, tr := range k.Trackers {
+		tr := tr
+		tr.Trace = k.Trace
+		tr.TraceTrack = k.Trace.Track(fmt.Sprintf("tracker%d", i))
+		probes = append(probes, telemetry.CounterProbe{Track: tr.TraceTrack,
+			Name: fmt.Sprintf("tracker%d.table", i), Series: "occupancy",
+			Get: func() int64 { return int64(tr.LiveEntries()) }})
+	}
+	every := k.Cfg.SampleEvery
+	if every <= 0 {
+		every = 10 * sim.Microsecond
+	}
+	reg := k.Metrics
+	m.Eng.NewTicker(every, func() {
+		k.Trace.Sample(probes)
+		k.Trace.SnapshotMetrics(reg)
+	})
 }
 
 // env builds the mechanism environment for a process.

@@ -1,11 +1,15 @@
 package kernel
 
 import (
+	"fmt"
+	"sort"
+
 	"prosper/internal/machine"
 	"prosper/internal/mem"
 	"prosper/internal/persist"
 	"prosper/internal/sim"
 	"prosper/internal/stats"
+	"prosper/internal/telemetry"
 	"prosper/internal/vm"
 	"prosper/internal/workload"
 )
@@ -129,6 +133,7 @@ type Process struct {
 	ckptTicker *sim.Ticker
 
 	checkpointing bool
+	traceTrack    telemetry.Track // checkpoint-epoch lane (zero when disabled)
 
 	// Checkpoints completed and cumulative checkpoint statistics.
 	CheckpointCount uint64
@@ -193,6 +198,8 @@ func (k *Kernel) Spawn(cfg ProcessConfig, progs ...workload.Program) *Process {
 	p.writeHeader()
 	k.super.addProc(p.Name, p.headerAddr)
 	k.procs = append(k.procs, p)
+	p.traceTrack = k.Trace.Track("ckpt:" + p.Name)
+	k.registerProcMetrics(p)
 
 	for _, t := range p.Threads {
 		t.Prog.Start(t.Ctx)
@@ -242,6 +249,27 @@ func (p *Process) newThread(i int, prog workload.Program) *Thread {
 	t.regArea = k.super.allocNVM(mem.PageSize)
 	t.mech.Attach(k.env(p), t.StackSeg)
 	return t
+}
+
+// registerProcMetrics adopts the process's counters and scalar
+// checkpoint/thread statistics into the kernel's metrics registry under
+// "proc.<name>", in the order DumpStats prints them: sorted counter
+// names, then the checkpoint scalars, then per-thread user accounting.
+func (k *Kernel) registerProcMetrics(p *Process) {
+	k.Metrics.RegisterFunc("proc."+p.Name, func(emit func(name string, v uint64)) {
+		names := p.Counters.Names()
+		sort.Strings(names)
+		for _, n := range names {
+			emit(n, p.Counters.Get(n))
+		}
+		emit("checkpoints", p.CheckpointCount)
+		emit("checkpoint_bytes", p.CheckpointBytes)
+		emit("checkpoint_cycles", uint64(p.CheckpointTime))
+		for _, t := range p.Threads {
+			emit(fmt.Sprintf("thread%d.user_ops", t.TID), t.UserOps)
+			emit(fmt.Sprintf("thread%d.user_cycles", t.TID), t.UserCycles)
+		}
+	})
 }
 
 // routeStore dispatches a store to the mechanism owning its segment,

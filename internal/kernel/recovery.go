@@ -130,6 +130,8 @@ func (k *Kernel) RecoverProcess(cfg ProcessConfig, progs []workload.Program, don
 		p.Threads = append(p.Threads, t)
 	}
 	k.procs = append(k.procs, p)
+	p.traceTrack = k.Trace.Track("ckpt:" + p.Name)
+	k.registerProcMetrics(p)
 
 	// Run every mechanism's recovery path, then make threads runnable.
 	pending := len(p.Threads) + 1

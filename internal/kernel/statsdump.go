@@ -3,54 +3,26 @@ package kernel
 import (
 	"fmt"
 	"io"
-	"sort"
-
-	"prosper/internal/stats"
 )
 
 // DumpStats writes every counter the simulated system maintains — kernel,
 // cores, cache levels, memory devices, trackers, and per-process
 // checkpoint statistics — in a stable order, the equivalent of gem5's
-// stats.txt dump that the paper's artifact parses.
+// stats.txt dump that the paper's artifact parses. The body is the
+// metrics registry (telemetry.Registry) the kernel builds at boot; the
+// trailing sim.* lines are the engine's own clock and event count.
 func (k *Kernel) DumpStats(w io.Writer) {
-	section := func(name string, c *stats.Counters) {
-		if c == nil {
-			return
-		}
-		names := c.Names()
-		sort.Strings(names)
-		for _, n := range names {
-			fmt.Fprintf(w, "%s.%s %d\n", name, n, c.Get(n))
-		}
-	}
-	section("kernel", k.Counters)
-	for i, cs := range k.cores {
-		section(fmt.Sprintf("core%d", i), cs.core.Counters)
-		section(fmt.Sprintf("core%d.tlb", i), cs.core.TLB.Counters)
-	}
-	for i, c := range k.Mach.Hier.L1D {
-		section(fmt.Sprintf("l1d%d", i), c.Counters)
-	}
-	for i, c := range k.Mach.Hier.L2 {
-		section(fmt.Sprintf("l2_%d", i), c.Counters)
-	}
-	section("l3", k.Mach.Hier.L3.Counters)
-	section("dram", k.Mach.Ctl.DRAM.Counters)
-	section("nvm", k.Mach.Ctl.NVM.Counters)
-	section("machine", k.Mach.Counters)
-	for i, tr := range k.Trackers {
-		section(fmt.Sprintf("tracker%d", i), tr.Counters)
-	}
-	for _, p := range k.procs {
-		section(fmt.Sprintf("proc.%s", p.Name), p.Counters)
-		fmt.Fprintf(w, "proc.%s.checkpoints %d\n", p.Name, p.CheckpointCount)
-		fmt.Fprintf(w, "proc.%s.checkpoint_bytes %d\n", p.Name, p.CheckpointBytes)
-		fmt.Fprintf(w, "proc.%s.checkpoint_cycles %d\n", p.Name, uint64(p.CheckpointTime))
-		for _, t := range p.Threads {
-			fmt.Fprintf(w, "proc.%s.thread%d.user_ops %d\n", p.Name, t.TID, t.UserOps)
-			fmt.Fprintf(w, "proc.%s.thread%d.user_cycles %d\n", p.Name, t.TID, t.UserCycles)
-		}
-	}
+	k.Metrics.WriteText(w)
 	fmt.Fprintf(w, "sim.cycles %d\n", k.Eng.Now())
 	fmt.Fprintf(w, "sim.events %d\n", k.Eng.Fired())
+}
+
+// DumpStatsJSON writes the same metrics as DumpStats as one flat JSON
+// object whose keys appear in exactly the text dump's order (the
+// serializer preserves insertion order, so the bytes are deterministic).
+func (k *Kernel) DumpStatsJSON(w io.Writer) error {
+	return k.Metrics.WriteJSON(w, func(emit func(name string, v uint64)) {
+		emit("sim.cycles", uint64(k.Eng.Now()))
+		emit("sim.events", k.Eng.Fired())
+	})
 }

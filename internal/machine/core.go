@@ -72,6 +72,10 @@ func (c *Core) L1() *cache.Cache { return c.l1 }
 // injected here so it does not pollute L1 but still contends below it.
 func (c *Core) L2() *cache.Cache { return c.l2 }
 
+// StoreBufferInUse returns how many store-buffer entries are occupied
+// right now; telemetry samples it against Config.StoreBuffer.
+func (c *Core) StoreBufferInUse() int { return c.mach.Cfg.StoreBuffer - c.storeCredits }
+
 // SwitchContext rebinds the core to a new address space, flushing the TLB
 // like a CR3 write.
 func (c *Core) SwitchContext(as *vm.AddressSpace) {

@@ -157,6 +157,32 @@ func (d *Device) start(p pendingAccess) {
 	})
 }
 
+// ReadQueueDepth returns the read-class queue occupancy right now:
+// reads in flight at the banks plus reads parked in the admission queue.
+// Telemetry samples it on a sim-time cadence.
+func (d *Device) ReadQueueDepth() int {
+	n := d.inflightReads
+	for _, p := range d.waiting {
+		if !p.write {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteQueueDepth returns the write-class queue occupancy right now:
+// writes in flight plus writes waiting for a write-buffer slot. Watching
+// it against cfg.WriteBuffer shows NVM write-buffer saturation directly.
+func (d *Device) WriteQueueDepth() int {
+	n := d.inflightWrites
+	for _, p := range d.waiting {
+		if p.write {
+			n++
+		}
+	}
+	return n
+}
+
 // EstimatedWait returns the expected queueing delay a new request would
 // see right now: average bank backlog, channel-bus backlog, and the
 // admission queue. Persistence hardware uses it to model how congestion

@@ -20,6 +20,7 @@ import (
 	"prosper/internal/mem"
 	"prosper/internal/sim"
 	"prosper/internal/stats"
+	"prosper/internal/telemetry"
 )
 
 // AllocPolicy selects how the lookup table creates entries for bitmap
@@ -113,6 +114,12 @@ type Tracker struct {
 	anyTouched           bool
 
 	Counters *stats.Counters
+
+	// Trace, when enabled, receives flush / HWM-writeback / eviction
+	// instant events on TraceTrack; the kernel wires both at boot. A nil
+	// Trace (the default) costs one pointer test per emission site.
+	Trace      *telemetry.Tracer
+	TraceTrack telemetry.Track
 }
 
 // New builds a tracker injecting bitmap traffic into port.
@@ -209,6 +216,9 @@ func (t *Tracker) recordGranule(g uint64) {
 		e.accum |= bit
 		if t.popcount(e) >= t.cfg.HWM {
 			t.Counters.Inc("prosper.hwm_writebacks")
+			if t.Trace.Enabled() {
+				t.Trace.Instant(t.TraceTrack, "hwm_writeback", telemetry.I("bits", int64(t.popcount(e))))
+			}
 			t.writeback(e)
 		}
 		return
@@ -257,10 +267,16 @@ func (t *Tracker) selectVictim() *entry {
 	for i := range t.table {
 		if t.table[i].used && t.popcount(&t.table[i]) < t.cfg.LWM {
 			t.Counters.Inc("prosper.lwm_evictions")
+			if t.Trace.Enabled() {
+				t.Trace.Instant(t.TraceTrack, "lwm_eviction", telemetry.I("bits", int64(t.popcount(&t.table[i]))))
+			}
 			return &t.table[i]
 		}
 	}
 	t.Counters.Inc("prosper.random_evictions")
+	if t.Trace.Enabled() {
+		t.Trace.Instant(t.TraceTrack, "random_eviction")
+	}
 	return &t.table[t.rng.Intn(len(t.table))]
 }
 
@@ -310,6 +326,9 @@ func (t *Tracker) issueStore(wordAddr uint64) {
 // OS must then poll Quiesced before inspecting the bitmap.
 func (t *Tracker) Flush() {
 	t.Counters.Inc("prosper.flushes")
+	if t.Trace.Enabled() {
+		t.Trace.Instant(t.TraceTrack, "flush", telemetry.I("live_entries", int64(t.LiveEntries())))
+	}
 	for i := range t.table {
 		if t.table[i].used {
 			t.writeback(&t.table[i])

@@ -18,6 +18,7 @@ import (
 	"prosper/internal/persist"
 	"prosper/internal/prosper"
 	"prosper/internal/sim"
+	"prosper/internal/telemetry"
 	"prosper/internal/workload"
 )
 
@@ -59,6 +60,17 @@ type Spec struct {
 	StackReserve uint64
 	HeapSize     uint64
 	Seed         uint64
+
+	// Tracer, when non-nil, records this run's sim-time telemetry (one
+	// Perfetto process lane per run: warmup/measured spans, checkpoint
+	// epochs, tracker events, occupancy samples). Every spec needs its
+	// own Tracer — runs never share one — typically allocated in plan
+	// order from a telemetry.Trace so serialized output is identical for
+	// any worker count.
+	Tracer *telemetry.Tracer
+	// SampleEvery is the telemetry sampling cadence in cycles
+	// (0: the kernel's 10 µs default).
+	SampleEvery sim.Time
 }
 
 // DisplayLabel returns Label, falling back to Name.
@@ -161,10 +173,14 @@ func (r RunStats) MeanStackCkptCycles() float64 {
 func (sp Spec) Run() RunStats {
 	sp = sp.withDefaults()
 	k := kernel.New(kernel.Config{
-		Machine:    machine.Config{Cores: sp.Cores},
-		Quantum:    sp.Interval / 2,
-		TrackerCfg: sp.Tracker,
+		Machine:     machine.Config{Cores: sp.Cores},
+		Quantum:     sp.Interval / 2,
+		TrackerCfg:  sp.Tracker,
+		Tracer:      sp.Tracer,
+		SampleEvery: sp.SampleEvery,
 	})
+	runTrack := sp.Tracer.Track("run")
+	runSpan := sp.Tracer.Begin(runTrack, "run:"+sp.DisplayLabel())
 	pc := kernel.ProcessConfig{
 		Name:         sp.Name,
 		StackMech:    sp.StackMech,
@@ -184,7 +200,9 @@ func (sp Spec) Run() RunStats {
 	p := k.Spawn(pc, progs...)
 	defer p.Shutdown()
 
+	warmupSpan := sp.Tracer.Begin(runTrack, "warmup")
 	k.RunFor(sp.Warmup)
+	warmupSpan.End()
 	var opsBase, cyclesBase uint64
 	for _, t := range p.Threads {
 		opsBase += t.UserOps
@@ -201,7 +219,9 @@ func (sp Spec) Run() RunStats {
 	wfBase := uint64(p.AS.WriteFaults())
 	start := k.Eng.Now()
 
+	measured := sp.Tracer.Begin(runTrack, "measured")
 	k.RunFor(sp.Interval * sim.Time(sp.Checkpoints))
+	measured.End()
 
 	res := RunStats{Name: sp.Name, Elapsed: k.Eng.Now() - start}
 	for _, t := range p.Threads {
@@ -228,6 +248,11 @@ func (sp Spec) Run() RunStats {
 	res.CtxSwitchIn = k.Counters.Get("kernel.ctxswitch_in_cycles")
 	res.CtxSwitchOut = k.Counters.Get("kernel.ctxswitch_out_cycles")
 	res.SimEnd = k.Eng.Now()
+	runSpan.End(
+		telemetry.U("user_ops", res.UserOps),
+		telemetry.U("checkpoints", res.Checkpoints),
+		telemetry.U("checkpoint_bytes", res.CheckpointBytes),
+	)
 	return res
 }
 

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"prosper/internal/stats"
+)
+
+// Registry is a hierarchical metrics namespace: it adopts existing
+// per-component stats.Counters (and computed gauges via RegisterFunc)
+// under stable dotted prefixes, preserving registration order between
+// groups and sorting names inside each counter group — exactly the
+// ordering contract kernel.DumpStats has always printed.
+//
+// A Registry is built once at kernel boot and only read afterwards; it
+// is not safe for concurrent mutation.
+type Registry struct {
+	groups []group
+}
+
+type group struct {
+	prefix string
+	c      *stats.Counters
+	fn     func(emit func(name string, v uint64))
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adopts a counter set under the prefix; its counters appear as
+// "prefix.<name>" in sorted name order. A nil counter set is ignored.
+func (r *Registry) Register(prefix string, c *stats.Counters) {
+	if c == nil {
+		return
+	}
+	r.groups = append(r.groups, group{prefix: prefix, c: c})
+}
+
+// RegisterFunc adopts a computed group: fn is invoked at read time and
+// emits (name, value) pairs in its own (stable) order, each prefixed
+// with "prefix.". Used for per-process scalar stats that are not
+// Counters (checkpoint counts, per-thread user cycles).
+func (r *Registry) RegisterFunc(prefix string, fn func(emit func(name string, v uint64))) {
+	if fn == nil {
+		return
+	}
+	r.groups = append(r.groups, group{prefix: prefix, fn: fn})
+}
+
+// Each visits every metric as a fully-qualified dotted name, in the
+// registry's stable order.
+func (r *Registry) Each(emit func(name string, v uint64)) {
+	for _, g := range r.groups {
+		prefix := g.prefix + "."
+		if g.c != nil {
+			names := g.c.Names()
+			sort.Strings(names)
+			for _, n := range names {
+				emit(prefix+n, g.c.Get(n))
+			}
+			continue
+		}
+		g.fn(func(n string, v uint64) { emit(prefix+n, v) })
+	}
+}
+
+// Snapshot captures every metric's current name and value, in Each
+// order.
+func (r *Registry) Snapshot() (names []string, values []uint64) {
+	r.Each(func(n string, v uint64) {
+		names = append(names, n)
+		values = append(values, v)
+	})
+	return names, values
+}
+
+// WriteText renders "name value" lines in Each order — the DumpStats
+// text format.
+func (r *Registry) WriteText(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	r.Each(func(n string, v uint64) {
+		fmt.Fprintf(bw, "%s %d\n", n, v)
+	})
+	bw.Flush()
+}
+
+// WriteJSON renders one flat JSON object with keys in Each order (the
+// serializer is hand-rolled so key order — and therefore the bytes —
+// stay deterministic).
+func (r *Registry) WriteJSON(w io.Writer, extra func(emit func(name string, v uint64))) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{")
+	first := true
+	emit := func(n string, v uint64) {
+		if !first {
+			bw.WriteString(",")
+		}
+		first = false
+		fmt.Fprintf(bw, "\n%s:%d", strconv.Quote(n), v)
+	}
+	r.Each(emit)
+	if extra != nil {
+		extra(emit)
+	}
+	bw.WriteString("\n}\n")
+	return bw.Flush()
+}
