@@ -7,9 +7,16 @@
 //	prosper-experiments [-interval us] [-checkpoints n] [-ops n]
 //	                    [-parallel n] [-progress] [-list]
 //	                    [fig1 fig2 ... | all | quick]
+//	prosper-experiments -crash-sweep [-crash-points n] [-crash-seed s]
+//	                    [-parallel n]
 //
 // "quick" runs the trace-driven motivation figures only (seconds);
 // "all" also runs the full-machine figures (minutes at default scale).
+//
+// -crash-sweep runs the differential power-failure sweep instead of the
+// figures: every mechanism is crashed at -crash-points seeded cycles and
+// recovered from the surviving NVM image, and any recovery-invariant
+// violation makes the command exit non-zero (see EXPERIMENTS.md).
 //
 // Every figure is a declarative run plan executed on a bounded worker
 // pool (-parallel, default GOMAXPROCS). Each run owns a private
@@ -26,6 +33,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"prosper/internal/crash"
 	"prosper/internal/experiments"
 	"prosper/internal/sim"
 	"prosper/internal/stats"
@@ -53,7 +61,14 @@ func main() {
 	sampleEvery := flag.Int64("sample-every", 30_000, "telemetry sampling cadence in simulated cycles (30000 = 10 µs)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to FILE")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to FILE at exit")
+	crashSweep := flag.Bool("crash-sweep", false, "run the power-failure crash sweep over every mechanism instead of the figures")
+	crashPoints := flag.Int("crash-points", 64, "crash points per mechanism for -crash-sweep")
+	crashSeed := flag.Int64("crash-seed", 1, "PRNG seed for -crash-sweep point sampling")
 	flag.Parse()
+
+	if *crashSweep {
+		os.Exit(runCrashSweep(*crashPoints, *crashSeed, *parallel))
+	}
 
 	scale := experiments.DefaultScale()
 	scale.Interval = sim.Time(*intervalUS) * sim.Microsecond
@@ -176,6 +191,35 @@ func main() {
 		check(pprof.WriteHeapProfile(f))
 		check(f.Close())
 	}
+}
+
+// runCrashSweep crashes every persistence mechanism at `points` seeded
+// cycles, recovers each surviving NVM image, and prints one summary line
+// per mechanism. Violations are listed individually; any violation makes
+// the exit status 1.
+func runCrashSweep(points int, seed int64, workers int) int {
+	status := 0
+	for _, mech := range crash.Mechanisms() {
+		start := time.Now()
+		res, err := crash.Sweep(crash.Config{
+			Mechanism: mech,
+			Points:    points,
+			Seed:      seed,
+			Workers:   workers,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prosper-experiments: crash sweep %s: %v\n", mech, err)
+			return 1
+		}
+		fmt.Println(res.Summary())
+		for _, v := range res.Violations() {
+			fmt.Printf("  VIOLATION at cycle %d (P=%d S=%d): %s\n", v.Cycle, v.Commit, v.Epoch, v.Violation)
+			status = 1
+		}
+		fmt.Fprintf(os.Stderr, "[crash-sweep %s completed in %v wall time, %d workers]\n",
+			mech, time.Since(start).Round(time.Millisecond), workers)
+	}
+	return status
 }
 
 // mustCreate opens an output file or exits with a diagnostic.

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"prosper/internal/kernel"
@@ -75,33 +76,43 @@ func workloadByName(name string) workload.Program {
 }
 
 func main() {
-	name := flag.String("workload", "gapbs_pr", "workload to trace")
-	ops := flag.Int("ops", 200_000, "memory operations to capture")
-	seed := flag.Uint64("seed", 1, "workload seed")
-	out := flag.String("out", "", "write binary trace to file")
-	in := flag.String("in", "", "read binary trace from file instead of capturing")
-	intervals := flag.Int("intervals", 20, "consistency intervals for the analyses")
-	onMachine := flag.Bool("machine", false, "capture from the cycle-level machine (real timing) instead of the nominal-cost capturer")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its process-global edges (flags, exit status, output
+// streams) injected, so tests can drive the command in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("prosper-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("workload", "gapbs_pr", "workload to trace")
+	ops := fs.Int("ops", 200_000, "memory operations to capture")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	out := fs.String("out", "", "write binary trace to file")
+	in := fs.String("in", "", "read binary trace from file instead of capturing")
+	intervals := fs.Int("intervals", 20, "consistency intervals for the analyses")
+	onMachine := fs.Bool("machine", false, "capture from the cycle-level machine (real timing) instead of the nominal-cost capturer")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var tr *trace.Trace
 	if *in != "" {
 		f, err := os.Open(*in)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		defer f.Close()
 		tr, err = trace.Read(f)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 	} else {
 		prog := workloadByName(*name)
 		if prog == nil {
-			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *name)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "unknown workload %q\n", *name)
+			return 2
 		}
 		if *onMachine {
 			tr = captureOnMachine(prog, *name, *ops, *seed)
@@ -116,15 +127,15 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		if err := tr.Write(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		f.Close()
-		fmt.Printf("wrote %d records to %s\n", len(tr.Records), *out)
+		fmt.Fprintf(stdout, "wrote %d records to %s\n", len(tr.Records), *out)
 	}
 
 	interval := tr.Duration() / sim.Time(*intervals)
@@ -143,5 +154,6 @@ func main() {
 	tb.AddRow("ckpt bytes/interval @page", page.MeanBytes())
 	tb.AddRow("ckpt bytes/interval @8B", fine.MeanBytes())
 	tb.AddRow("page/8B reduction", trace.ReductionFactor(tr, interval, 8))
-	fmt.Println(tb.String())
+	fmt.Fprintln(stdout, tb.String())
+	return 0
 }

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Capture a small trace, analyze it, and verify the table reports sane
+// motivation numbers (records captured, non-trivial stack fraction).
+func TestTraceCaptureAndAnalyze(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-workload", "gapbs_pr", "-ops", "5000"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"Trace analysis", "records", "stack fraction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The -out/-in round trip: a written binary trace must analyze to the
+// same table a direct capture produces.
+func TestTraceFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	var direct, stderr bytes.Buffer
+	if code := run([]string{"-workload", "random", "-ops", "3000", "-out", path}, &direct, &stderr); code != 0 {
+		t.Fatalf("capture exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(direct.String(), "wrote 3000 records to") {
+		t.Fatalf("capture did not report the written trace:\n%s", direct.String())
+	}
+	var replay bytes.Buffer
+	if code := run([]string{"-in", path}, &replay, &stderr); code != 0 {
+		t.Fatalf("replay exit %d, stderr:\n%s", code, stderr.String())
+	}
+	// Strip the "wrote ..." line; the analysis tables must match exactly.
+	table := direct.String()[strings.Index(direct.String(), "Trace analysis"):]
+	if replay.String() != table {
+		t.Fatalf("replayed analysis differs from direct capture:\n--- direct ---\n%s--- replay ---\n%s", table, replay.String())
+	}
+}
+
+// Unknown workloads and unreadable inputs must fail with a diagnostic,
+// not a zero exit.
+func TestTraceBadInputs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-workload", "nonesuch"}, &stdout, &stderr); code == 0 {
+		t.Error("unknown workload exited 0")
+	}
+	if !strings.Contains(stderr.String(), "unknown workload") {
+		t.Errorf("missing diagnostic, stderr:\n%s", stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"-in", filepath.Join(t.TempDir(), "missing.bin")}, &stdout, &stderr); code == 0 {
+		t.Error("missing input file exited 0")
+	}
+}

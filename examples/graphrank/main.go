@@ -8,11 +8,13 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"prosper"
 )
 
-func measure(name string, stack prosper.Mechanism, gran uint64) (bytesPerCkpt float64) {
+func measure(w io.Writer, name string, stack prosper.Mechanism, gran uint64) (bytesPerCkpt float64) {
 	sys := prosper.NewSystem(prosper.SystemConfig{Cores: 1})
 	proc := sys.Launch(prosper.ProcessSpec{
 		Name:               "pr",
@@ -29,23 +31,31 @@ func measure(name string, stack prosper.Mechanism, gran uint64) (bytesPerCkpt fl
 		return 0
 	}
 	mean := float64(proc.CheckpointedBytes()) / float64(ckpts)
-	fmt.Printf("%-18s %10.0f bytes/checkpoint  (%d checkpoints)\n", name, mean, ckpts)
+	fmt.Fprintf(w, "%-18s %10.0f bytes/checkpoint  (%d checkpoints)\n", name, mean, ckpts)
 	proc.Shutdown()
 	return mean
 }
 
 func main() {
-	fmt.Println("graphrank: PageRank-style stack checkpointing, granularity sweep")
-	fmt.Println()
-	page := measure("dirtybit (4KiB)", prosper.MechDirtybit, 0)
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "graphrank:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer) error {
+	fmt.Fprintln(w, "graphrank: PageRank-style stack checkpointing, granularity sweep")
+	fmt.Fprintln(w)
+	page := measure(w, "dirtybit (4KiB)", prosper.MechDirtybit, 0)
 	var best float64
 	for _, gran := range []uint64{8, 16, 32, 64, 128} {
-		m := measure(fmt.Sprintf("prosper %3dB", gran), prosper.MechProsper, gran)
+		m := measure(w, fmt.Sprintf("prosper %3dB", gran), prosper.MechProsper, gran)
 		if gran == 8 {
 			best = m
 		}
 	}
 	if best > 0 && page > 0 {
-		fmt.Printf("\n8-byte tracking shrinks PageRank stack checkpoints %.0fx vs page tracking\n", page/best)
+		fmt.Fprintf(w, "\n8-byte tracking shrinks PageRank stack checkpoints %.0fx vs page tracking\n", page/best)
 	}
+	return nil
 }

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The granularity sweep must produce a line per configuration and find
+// fine-grained tracking strictly smaller than page tracking.
+func TestGraphrankSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatalf("graphrank failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"dirtybit (4KiB)",
+		"prosper   8B",
+		"prosper 128B",
+		"shrinks PageRank stack checkpoints",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

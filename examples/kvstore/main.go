@@ -8,11 +8,13 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"prosper"
 )
 
-func run(name string, stack prosper.Mechanism) (opsPerMs float64) {
+func measure(w io.Writer, name string, stack prosper.Mechanism) (opsPerMs float64) {
 	sys := prosper.NewSystem(prosper.SystemConfig{Cores: 1})
 	proc := sys.Launch(prosper.ProcessSpec{
 		Name:               "kv",
@@ -26,23 +28,30 @@ func run(name string, stack prosper.Mechanism) (opsPerMs float64) {
 	const window = 1000 * prosper.Microsecond
 	sys.Run(window)
 	ipc := proc.UserIPC()
-	fmt.Printf("%-22s checkpoints=%2d persisted=%6d B  userIPC=%.4f\n",
+	fmt.Fprintf(w, "%-22s checkpoints=%2d persisted=%6d B  userIPC=%.4f\n",
 		name, proc.Checkpoints(), proc.CheckpointedBytes(), ipc)
 	proc.Shutdown()
 	return ipc
 }
 
 func main() {
-	fmt.Println("kvstore: YCSB-style service with whole-memory persistence")
-	fmt.Println()
-	sspIPC := run("SSP heap + SSP stack", prosper.MechSSP)
-	proIPC := run("SSP heap + Prosper", prosper.MechProsper)
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kvstore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer) error {
+	fmt.Fprintln(w, "kvstore: YCSB-style service with whole-memory persistence")
+	fmt.Fprintln(w)
+	sspIPC := measure(w, "SSP heap + SSP stack", prosper.MechSSP)
+	proIPC := measure(w, "SSP heap + Prosper", prosper.MechProsper)
 	if sspIPC > 0 {
-		fmt.Printf("\nProsper-stack combination delivers %.2fx the SSP-everywhere IPC\n", proIPC/sspIPC)
+		fmt.Fprintf(w, "\nProsper-stack combination delivers %.2fx the SSP-everywhere IPC\n", proIPC/sspIPC)
 	}
 
 	// The service must also survive power failures end to end.
-	fmt.Println("\ncrash/recovery check with the Prosper-stack combination:")
+	fmt.Fprintln(w, "\ncrash/recovery check with the Prosper-stack combination:")
 	sys := prosper.NewSystem(prosper.SystemConfig{Cores: 1})
 	counter := prosper.NewCounterWorkload(120_000)
 	sys.Launch(prosper.ProcessSpec{
@@ -60,9 +69,12 @@ func main() {
 		Stack:              prosper.MechProsper,
 		CheckpointInterval: 150 * prosper.Microsecond,
 	}, counter2); err != nil {
-		panic(err)
+		return err
 	}
-	fmt.Printf("crash at request %d; recovered to request %d; resuming...\n", before, counter2.Progress())
-	sys2.RunUntilDone(10 * prosper.Second)
-	fmt.Printf("service completed all %d requests across the failure\n", counter2.Progress())
+	fmt.Fprintf(w, "crash at request %d; recovered to request %d; resuming...\n", before, counter2.Progress())
+	if !sys2.RunUntilDone(10 * prosper.Second) {
+		return fmt.Errorf("recovered service did not finish")
+	}
+	fmt.Fprintf(w, "service completed all %d requests across the failure\n", counter2.Progress())
+	return nil
 }

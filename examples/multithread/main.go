@@ -7,12 +7,21 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"prosper"
 )
 
 func main() {
-	fmt.Println("multithread: two threads, one core, per-thread Prosper tracking")
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "multithread:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer) error {
+	fmt.Fprintln(w, "multithread: two threads, one core, per-thread Prosper tracking")
 	sys := prosper.NewSystem(prosper.SystemConfig{Cores: 1})
 	proc := sys.Launch(prosper.ProcessSpec{
 		Name:               "mt",
@@ -27,17 +36,18 @@ func main() {
 	switches := k.Counters.Get("kernel.context_switches")
 	in := k.Counters.Get("kernel.ctxswitch_in_cycles")
 	out := k.Counters.Get("kernel.ctxswitch_out_cycles")
-	fmt.Printf("context switches: %d\n", switches)
+	fmt.Fprintf(w, "context switches: %d\n", switches)
 	if switches > 0 {
-		fmt.Printf("tracker save/restore overhead: %.0f cycles per switch (paper: ~870)\n",
+		fmt.Fprintf(w, "tracker save/restore overhead: %.0f cycles per switch (paper: ~870)\n",
 			float64(in+out)/float64(switches))
 	}
-	fmt.Printf("checkpoints: %d, persisted %d bytes across both stacks\n",
+	fmt.Fprintf(w, "checkpoints: %d, persisted %d bytes across both stacks\n",
 		proc.Checkpoints(), proc.CheckpointedBytes())
 
 	for i, th := range proc.Inner().Threads {
-		fmt.Printf("thread %d: %d user ops, stack segment [%#x, %#x)\n",
+		fmt.Fprintf(w, "thread %d: %d user ops, stack segment [%#x, %#x)\n",
 			i, th.UserOps, th.StackSeg.Lo, th.StackSeg.Hi)
 	}
 	proc.Shutdown()
+	return nil
 }

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Two threads on one core must actually context-switch, and both stacks
+// must be tracked and reported.
+func TestMultithreadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multithread example simulates 2 ms of two-thread contention")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatalf("multithread failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"context switches:",
+		"thread 0:",
+		"thread 1:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "context switches: 0\n") {
+		t.Errorf("two threads on one core never context-switched:\n%s", out)
+	}
+}

@@ -5,11 +5,20 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"prosper"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer) error {
 	// A persistent system with Prosper protecting thread stacks,
 	// checkpointing every 200 simulated microseconds.
 	sys := prosper.NewSystem(prosper.SystemConfig{Cores: 1})
@@ -23,7 +32,7 @@ func main() {
 
 	// Run a while, then simulate a power failure.
 	sys.Run(1200 * prosper.Microsecond)
-	fmt.Printf("progress before crash: %d iterations, %d checkpoints, %d bytes persisted\n",
+	fmt.Fprintf(w, "progress before crash: %d iterations, %d checkpoints, %d bytes persisted\n",
 		counter.Progress(), proc.Checkpoints(), proc.CheckpointedBytes())
 
 	sys.Crash()
@@ -37,13 +46,14 @@ func main() {
 		CheckpointInterval: 200 * prosper.Microsecond,
 	}, counter2)
 	if err != nil {
-		panic(err)
+		return err
 	}
-	fmt.Printf("recovered at iteration %d; resuming...\n", counter2.Progress())
+	fmt.Fprintf(w, "recovered at iteration %d; resuming...\n", counter2.Progress())
 
 	if !sys2.RunUntilDone(10 * prosper.Second) {
-		panic("recovered process did not finish")
+		return fmt.Errorf("recovered process did not finish")
 	}
-	fmt.Printf("done: %d iterations completed across one power failure\n", counter2.Progress())
+	fmt.Fprintf(w, "done: %d iterations completed across one power failure\n", counter2.Progress())
 	_ = proc2
+	return nil
 }

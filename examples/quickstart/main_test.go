@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The quickstart must survive its power failure end to end: some progress
+// before the crash, recovery to a committed iteration, and completion of
+// all 80 000 iterations afterwards.
+func TestQuickstartSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatalf("quickstart failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"progress before crash:",
+		"recovered at iteration",
+		"done: 80000 iterations completed across one power failure",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

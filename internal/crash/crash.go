@@ -1,0 +1,503 @@
+// Package crash injects power failures into running simulations and
+// sweeps recovery across many crash points.
+//
+// The harness is differential: a golden run of the same deterministic
+// spec records, at every checkpoint commit, the committed execution
+// position and the full functional stack image, plus the cycle of every
+// stack store. A crash run then replays the identical simulation, cuts
+// power at an arbitrary engine cycle via Injector (the surviving NVM
+// image comes from the machine's persistence domain — only writes whose
+// timed device access completed, plus admitted writes under ADR, are in
+// it), boots a fresh kernel on that image, and checks the recovered
+// process against the golden history:
+//
+//   - fsck of the surviving image must be clean at every crash point;
+//   - the epoch S the thread recovers to must be P or P+1, where P is
+//     the number of process commits durable at the crash instant
+//     (P+1 happens when the crash lands between a segment's step-1
+//     commit record and the process header commit: roll-forward);
+//   - the restored execution position must be exactly the golden
+//     position of epoch S;
+//   - the recovered stack must match the golden stack of epoch S —
+//     byte-for-byte for image-based mechanisms (prosper, dirtybit),
+//     all-zero for the no-persistence baseline, and line-by-line for
+//     in-place NVM mechanisms (ssp, romulus) excluding lines the
+//     program stored to after commit S (those may legitimately hold
+//     newer, uncommitted bytes);
+//   - before the first durable commit, recovery must fail cleanly
+//     ("no register checkpoint"), never fabricate a process.
+//
+// The sweep's own soundness is provable: running it against
+// persist.NewBrokenFence (dirtybit with the commit fence deleted) must
+// report violations, or the harness is not checking anything.
+package crash
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"prosper/internal/kernel"
+	"prosper/internal/machine"
+	"prosper/internal/mem"
+	"prosper/internal/persist"
+	"prosper/internal/runner"
+	"prosper/internal/sim"
+	"prosper/internal/workload"
+)
+
+// Injector schedules a power failure at an arbitrary engine cycle: it
+// runs the kernel's simulation up to (and including) cycle At, halts the
+// machine there, and returns the NVM image that survives the failure.
+// The crashed kernel must not be run further; boot the image with a
+// fresh kernel.New(Config{Machine: machine.Config{Storage: img}}).
+type Injector struct {
+	At sim.Time
+}
+
+// Inject cuts power at in.At and returns the surviving NVM image.
+func (in Injector) Inject(k *kernel.Kernel) *mem.Storage {
+	k.Eng.RunUntil(in.At)
+	return k.Mach.CrashImage()
+}
+
+// Mechanisms lists the stack persistence mechanisms the sweep covers by
+// default (the planted-bug fixture "brokenfence" is resolvable but
+// deliberately not listed).
+func Mechanisms() []string {
+	return []string{"prosper", "dirtybit", "ssp", "romulus", "none"}
+}
+
+// factoryFor resolves a mechanism name to its persist factory; nil means
+// the kernel's no-persistence baseline.
+func factoryFor(name string) (persist.Factory, error) {
+	switch name {
+	case "prosper":
+		return persist.NewProsper(persist.ProsperConfig{}), nil
+	case "dirtybit":
+		return persist.NewDirtybit(persist.DirtybitConfig{}), nil
+	case "ssp":
+		return persist.NewSSP(persist.SSPConfig{}), nil
+	case "romulus":
+		return persist.NewRomulus(), nil
+	case "none":
+		return nil, nil
+	case "brokenfence":
+		return persist.NewBrokenFence(persist.DirtybitConfig{}), nil
+	default:
+		return nil, fmt.Errorf("crash: unknown mechanism %q", name)
+	}
+}
+
+// Config parameterizes one crash-point sweep of one mechanism.
+type Config struct {
+	// Mechanism is one of Mechanisms() or "brokenfence".
+	Mechanism string
+	// Points is how many crash points to sample (default 64). Half are
+	// uniform over the sweep window, half cluster around commit instants
+	// where the atomicity races live.
+	Points int
+	// Seed drives the crash-point sampler (default 1). The sweep logs it
+	// in its Result so any run can be reproduced exactly.
+	Seed int64
+	// Interval is the checkpoint interval (default 50 µs — small, so a
+	// sweep crosses many commit windows cheaply).
+	Interval sim.Time
+	// Epochs is how many checkpoint epochs the crash window spans
+	// (default 4; the golden run records two more for roll-forward
+	// headroom).
+	Epochs int
+	// StackReserve / HeapSize size the process (defaults 64 KiB / 1 MiB).
+	StackReserve uint64
+	HeapSize     uint64
+	// Iterations sizes the counter workload; the default never finishes
+	// inside the window, so every crash point hits a live thread.
+	Iterations int
+	// ADR selects the flush-on-fail persistence domain; default is the
+	// harsher no-ADR domain.
+	ADR bool
+	// Workers bounds the parallel crash-point runs (<= 0: GOMAXPROCS).
+	Workers int
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Points <= 0 {
+		cfg.Points = 64
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 50 * sim.Microsecond
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 4
+	}
+	if cfg.StackReserve == 0 {
+		cfg.StackReserve = 64 << 10
+	}
+	if cfg.HeapSize == 0 {
+		cfg.HeapSize = 1 << 20
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 1 << 30
+	}
+	return cfg
+}
+
+// PointResult is the outcome of one crash point.
+type PointResult struct {
+	Cycle  sim.Time // engine cycle power was cut at
+	Commit uint64   // P: process commits durable at the crash instant
+	Epoch  uint64   // S: epoch the thread recovered to (0 when recovery errored)
+	// Err is the recovery error, expected (and required) before the
+	// first durable commit.
+	Err string
+	// Violation is non-empty when a recovery invariant broke.
+	Violation string
+}
+
+// Result is one mechanism's sweep outcome.
+type Result struct {
+	Mechanism string
+	Seed      int64
+	ADR       bool
+	Commits   int // golden commits recorded
+	Points    []PointResult
+}
+
+// Violations returns the points whose recovery invariant broke.
+func (r Result) Violations() []PointResult {
+	var out []PointResult
+	for _, p := range r.Points {
+		if p.Violation != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Summary renders a one-line human-readable outcome.
+func (r Result) Summary() string {
+	errs := 0
+	for _, p := range r.Points {
+		if p.Err != "" && p.Violation == "" {
+			errs++
+		}
+	}
+	return fmt.Sprintf("%-11s %3d points, %d commits, %d pre-commit failures, %d violations (seed %d)",
+		r.Mechanism, len(r.Points), r.Commits, errs, len(r.Violations()), r.Seed)
+}
+
+// storeRec is one observed stack store: when it was issued and which
+// lines it touched (stores never span more than two lines).
+type storeRec struct {
+	cycle sim.Time
+	line  uint64
+	n     int
+}
+
+// golden is the reference history of one deterministic run: per-commit
+// cycles, execution positions, and stack images, plus the store log the
+// in-place invariants need. Because every run of the same Config is
+// cycle-identical, it describes the crash runs too.
+type golden struct {
+	lo, hi      uint64
+	commitCycle []sim.Time // commitCycle[k-1] = cycle commit k became durable
+	snaps       [][]byte   // golden execution position per commit
+	stacks      [][]byte   // golden [lo,hi) stack bytes per commit
+	sps         []uint64   // golden stack pointer per commit
+	stores      []storeRec
+}
+
+// commitsBy returns P: how many commits were durable by cycle c.
+func (g *golden) commitsBy(c sim.Time) uint64 {
+	return uint64(sort.Search(len(g.commitCycle), func(i int) bool {
+		return g.commitCycle[i] > c
+	}))
+}
+
+// excluded returns the virtual line addresses stored to after commit s
+// and up to the crash cycle c — lines whose in-place durable copy may
+// legitimately be newer than epoch s.
+func (g *golden) excluded(s uint64, c sim.Time) map[uint64]bool {
+	out := make(map[uint64]bool)
+	cs := g.commitCycle[s-1]
+	for _, r := range g.stores {
+		if r.cycle > cs && r.cycle <= c {
+			for i := 0; i < r.n; i++ {
+				out[r.line+uint64(i)*mem.LineSize] = true
+			}
+		}
+	}
+	return out
+}
+
+// stackObserver records every store into the swept thread's stack range.
+// It is a pure observer on the core's store path: zero timing effect, so
+// observed runs stay cycle-identical to unobserved ones.
+type stackObserver struct {
+	eng *sim.Engine
+	g   *golden
+}
+
+func (o *stackObserver) ObserveStore(vaddr uint64, size int) {
+	if vaddr+uint64(size) <= o.g.lo || vaddr >= o.g.hi {
+		return
+	}
+	o.g.stores = append(o.g.stores, storeRec{
+		cycle: o.eng.Now(),
+		line:  mem.LineOf(vaddr),
+		n:     mem.LinesSpanned(vaddr, size),
+	})
+}
+
+// spawn starts the sweep's process on k. Golden and crash runs call this
+// with identical configs, which is what makes them cycle-identical.
+func (cfg Config) spawn(k *kernel.Kernel) (*kernel.Process, *workload.CounterProgram, error) {
+	fac, err := factoryFor(cfg.Mechanism)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog := workload.NewCounter(cfg.Iterations)
+	p := k.Spawn(kernel.ProcessConfig{
+		Name:               "sweep",
+		StackMech:          fac,
+		StackReserve:       cfg.StackReserve,
+		HeapSize:           cfg.HeapSize,
+		CheckpointInterval: cfg.Interval,
+	}, prog)
+	return p, prog, nil
+}
+
+func (cfg Config) machineConfig() machine.Config {
+	return machine.Config{Cores: 1, ADR: cfg.ADR}
+}
+
+// readStack reads the functional bytes of seg through the page table;
+// unmapped pages read as zero, like the hardware's zero-fill.
+func readStack(st *mem.Storage, p *kernel.Process, seg persist.Segment) []byte {
+	out := make([]byte, seg.Hi-seg.Lo)
+	for va := seg.Lo; va < seg.Hi; va += mem.PageSize {
+		if paddr, _, ok := p.AS.PT.Translate(va); ok {
+			st.Read(paddr, out[va-seg.Lo:va-seg.Lo+mem.PageSize])
+		}
+	}
+	return out
+}
+
+// capture performs the golden run: no crash, observers on, recording the
+// committed history for Epochs+2 commits.
+func (cfg Config) capture() (*golden, error) {
+	k := kernel.New(kernel.Config{Machine: cfg.machineConfig()})
+	p, prog, err := cfg.spawn(k)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Shutdown()
+	th := p.Threads[0]
+	g := &golden{lo: th.StackSeg.Lo, hi: th.StackSeg.Hi}
+	obs := &stackObserver{eng: k.Eng, g: g}
+	for _, c := range k.Mach.Cores {
+		c.Observer = obs
+	}
+	p.OnCommit = func(seq uint64) {
+		if int(seq) != len(g.commitCycle)+1 {
+			panic(fmt.Sprintf("crash: non-sequential commit %d after %d", seq, len(g.commitCycle)))
+		}
+		g.commitCycle = append(g.commitCycle, k.Eng.Now())
+		g.snaps = append(g.snaps, append([]byte(nil), prog.Snapshot()...))
+		g.stacks = append(g.stacks, readStack(k.Mach.Storage, p, th.StackSeg))
+		g.sps = append(g.sps, th.SP())
+	}
+	// Romulus replays its whole store log entry by entry, so a commit can
+	// straddle several intervals (the ticker skips while a checkpoint is
+	// in flight); allow plenty of intervals per commit.
+	target := cfg.Epochs + 2
+	for guard := 0; len(g.commitCycle) < target && guard < target*16; guard++ {
+		k.RunFor(cfg.Interval)
+	}
+	if len(g.commitCycle) < target {
+		return nil, fmt.Errorf("crash: golden run recorded %d commits, want %d", len(g.commitCycle), target)
+	}
+	if r, ok := th.Mech().(*persist.Romulus); ok {
+		if of := r.Counters.Get("romulus.log_overflow"); of > 0 {
+			return nil, fmt.Errorf("crash: romulus log overflowed %d times; enlarge the meta area or shorten the interval", of)
+		}
+	}
+	return g, nil
+}
+
+// samplePoints draws the crash points: even indices uniform over the
+// window, odd indices clustered just before/after a commit instant, where
+// the persist and commit races live. The window's upper bound keeps the
+// roll-forward epoch P+1 inside the recorded golden history.
+func (cfg Config) samplePoints(g *golden, rng *rand.Rand) []sim.Time {
+	lo := sim.Time(1000)
+	hi := g.commitCycle[len(g.commitCycle)-2]
+	span := int64(cfg.Interval/3 + cfg.Interval/20)
+	pts := make([]sim.Time, 0, cfg.Points)
+	for i := 0; i < cfg.Points; i++ {
+		var c sim.Time
+		if i%2 == 0 {
+			c = lo + sim.Time(rng.Int63n(int64(hi-lo)))
+		} else {
+			commit := g.commitCycle[rng.Intn(len(g.commitCycle)-1)]
+			c = commit - cfg.Interval/3 + sim.Time(rng.Int63n(span))
+		}
+		if c < lo {
+			c = lo
+		}
+		if c > hi {
+			c = hi
+		}
+		pts = append(pts, c)
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	return pts
+}
+
+// stackCheck classifies the per-mechanism recovered-stack invariant.
+type stackCheck int
+
+const (
+	checkFullImage stackCheck = iota // recovered == golden[S] byte-for-byte
+	checkZero                        // nothing persisted: recovered stack is empty
+	checkLines                       // golden[S] per line, modulo post-S stores
+)
+
+func (cfg Config) stackCheck() stackCheck {
+	switch cfg.Mechanism {
+	case "none":
+		return checkZero
+	case "ssp", "romulus":
+		return checkLines
+	default:
+		return checkFullImage
+	}
+}
+
+// runPoint replays the spec, cuts power at cycle c, reboots on the
+// surviving image, and checks every recovery invariant.
+func (cfg Config) runPoint(g *golden, c sim.Time) PointResult {
+	res := PointResult{Cycle: c, Commit: g.commitsBy(c)}
+
+	k := kernel.New(kernel.Config{Machine: cfg.machineConfig()})
+	if _, _, err := cfg.spawn(k); err != nil {
+		res.Violation = err.Error()
+		return res
+	}
+	img := Injector{At: c}.Inject(k)
+
+	if rep := kernel.Fsck(img); !rep.OK() {
+		res.Violation = fmt.Sprintf("fsck of surviving image: %v", rep.Problems)
+		return res
+	}
+
+	k2 := kernel.New(kernel.Config{Machine: machine.Config{Cores: 1, ADR: cfg.ADR, Storage: img}})
+	fac, err := factoryFor(cfg.Mechanism)
+	if err != nil {
+		res.Violation = err.Error()
+		return res
+	}
+	prog := workload.NewCounter(cfg.Iterations)
+	recovered := false
+	var rp *kernel.Process
+	err = k2.RecoverProcess(kernel.ProcessConfig{
+		Name:         "sweep",
+		StackMech:    fac,
+		StackReserve: cfg.StackReserve,
+		HeapSize:     cfg.HeapSize,
+	}, []workload.Program{prog}, func(p *kernel.Process) {
+		recovered = true
+		rp = p
+	})
+	if err != nil {
+		res.Err = err.Error()
+		// Failing to recover is legitimate only before anything durable
+		// existed; after a durable commit it is data loss.
+		if res.Commit >= 1 {
+			res.Violation = "recovery failed after a durable commit: " + err.Error()
+		}
+		return res
+	}
+	k2.Eng.RunWhile(func() bool { return !recovered })
+	if !recovered {
+		res.Violation = "recovery never completed (engine drained)"
+		return res
+	}
+	defer rp.Shutdown()
+	th := rp.Threads[0]
+	s := th.CkptEpoch()
+	res.Epoch = s
+	p := res.Commit
+	if s != p && s != p+1 {
+		res.Violation = fmt.Sprintf("recovered epoch %d, want %d or %d", s, p, p+1)
+		return res
+	}
+	if s < 1 || int(s) > len(g.snaps) {
+		res.Violation = fmt.Sprintf("recovered epoch %d outside golden history (%d commits)", s, len(g.snaps))
+		return res
+	}
+	if got, want := prog.Snapshot(), g.snaps[s-1]; !bytes.Equal(got, want) {
+		res.Violation = fmt.Sprintf("execution position %x differs from committed epoch %d position %x", got, s, want)
+		return res
+	}
+
+	rec := readStack(k2.Mach.Storage, rp, th.StackSeg)
+	want := g.stacks[s-1]
+	switch cfg.stackCheck() {
+	case checkZero:
+		for i, b := range rec {
+			if b != 0 {
+				res.Violation = fmt.Sprintf("unpersisted stack holds nonzero byte at %#x", g.lo+uint64(i))
+				return res
+			}
+		}
+	case checkFullImage:
+		for i := range rec {
+			if rec[i] != want[i] {
+				res.Violation = fmt.Sprintf("stack byte %#x = %#02x differs from epoch %d image byte %#02x",
+					g.lo+uint64(i), rec[i], s, want[i])
+				return res
+			}
+		}
+	case checkLines:
+		ex := g.excluded(s, c)
+		for off := uint64(0); off < uint64(len(rec)); off += mem.LineSize {
+			if ex[g.lo+off] {
+				continue
+			}
+			if !bytes.Equal(rec[off:off+mem.LineSize], want[off:off+mem.LineSize]) {
+				res.Violation = fmt.Sprintf("unmodified stack line %#x differs from epoch %d image", g.lo+off, s)
+				return res
+			}
+		}
+	}
+	return res
+}
+
+// Sweep runs the full crash-point sweep for cfg.Mechanism: one golden
+// run, then Points independent crash+recovery runs in parallel on
+// runner's worker pool.
+func Sweep(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	g, err := cfg.capture()
+	if err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pts := cfg.samplePoints(g, rng)
+	res := Result{
+		Mechanism: cfg.Mechanism,
+		Seed:      cfg.Seed,
+		ADR:       cfg.ADR,
+		Commits:   len(g.commitCycle),
+		Points:    make([]PointResult, len(pts)),
+	}
+	runner.ForEach(cfg.Workers, len(pts), func(i int) {
+		res.Points[i] = cfg.runPoint(g, pts[i])
+	})
+	return res, nil
+}

@@ -66,6 +66,11 @@ func (k *Kernel) checkpointPaused(p *Process, start int64, epoch telemetry.Span,
 			p.Counters.Add("proc.ckpt_bytes", ckptBytes)
 			p.Counters.Add("proc.ckpt_cycles", uint64(elapsed))
 			p.checkpointing = false
+			if p.OnCommit != nil {
+				// Threads are still quiesced here: architectural and
+				// program state are exactly the committed epoch's.
+				p.OnCommit(p.ckptSeq)
+			}
 			// Phase 5: new interval, resume everything. Rotate the resume
 			// order across checkpoints so no thread monopolizes its core
 			// when the checkpoint interval is shorter than the quantum.
@@ -118,6 +123,7 @@ func (k *Kernel) checkpointPaused(p *Process, start int64, epoch telemetry.Span,
 		partDone := func() {
 			pendingParts--
 			if pendingParts == 0 {
+				t.ckptEpoch++
 				next()
 			}
 		}
@@ -180,23 +186,29 @@ func (k *Kernel) checkpointPaused(p *Process, start int64, epoch telemetry.Span,
 }
 
 // saveRegisters persists the thread's architectural state and, for
-// checkpointable programs, the execution position snapshot.
+// checkpointable programs, the execution position snapshot, into the
+// register slot for the epoch being checkpointed. Double-buffering keeps
+// the previous committed epoch's registers intact until the new epoch
+// commits, and the embedded epoch stamp lets recovery pair registers
+// with the matching durable stack image.
 //
-// Register-area layout: sp(8) storeSeq(8) snapLen(8) snapshot bytes.
+// Slot layout: sp(8) storeSeq(8) epoch(8) snapLen(8) snapshot bytes.
 func (k *Kernel) saveRegisters(t *Thread, done func()) {
 	var snap []byte
 	if c, ok := t.Prog.(workload.Checkpointable); ok {
 		snap = c.Snapshot()
 	}
-	buf := make([]byte, 24+len(snap))
+	epoch := t.ckptEpoch + 1
+	buf := make([]byte, 32+len(snap))
 	putU64(buf, 0, t.sp)
 	putU64(buf, 8, t.storeSeq)
-	putU64(buf, 16, uint64(len(snap)))
-	copy(buf[24:], snap)
+	putU64(buf, 16, epoch)
+	putU64(buf, 24, uint64(len(snap)))
+	copy(buf[32:], snap)
 	if len(buf) > mem.PageSize {
 		panic("kernel: register snapshot exceeds a page")
 	}
-	k.Mach.WritePhys(t.regArea, buf, done)
+	k.Mach.WritePhys(t.regArea+(epoch%2)*mem.PageSize, buf, done)
 }
 
 // Checkpoint triggers one synchronous checkpoint of the process; done

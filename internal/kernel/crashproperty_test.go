@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -73,7 +74,12 @@ func TestCrashConsistencyProperty(t *testing.T) {
 		rec.Shutdown()
 		return bytes.Equal(got, lastCommit)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+	// Pin the generator so a failure reproduces exactly; the seed is
+	// logged so a future fuzzier variant can report what it ran with.
+	const quickSeed = 1
+	t.Logf("testing/quick PRNG seed: %d", quickSeed)
+	qc := &quick.Config{MaxCount: 8, Rand: rand.New(rand.NewSource(quickSeed))}
+	if err := quick.Check(f, qc); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -106,30 +106,37 @@ func fsckSegmentMeta(st *mem.Storage, label string, metaBase, metaSize, segSize 
 	if phase == 0 {
 		return // never checkpointed
 	}
-	count := st.ReadU64(metaBase + 16)
-	total := st.ReadU64(metaBase + 24)
-	entryBytes := count * 16
-	dataBase := metaBase + 64 + ((entryBytes + 63) &^ 63)
-	if dataBase+total > metaBase+metaSize {
-		rep.problemf("%s: payload (%d entries, %d bytes) overflows meta area", label, count, total)
-		return
-	}
-	var sum uint64
-	for i := uint64(0); i < count; i++ {
-		off := st.ReadU64(metaBase + 64 + i*16)
-		size := st.ReadU64(metaBase + 64 + i*16 + 8)
-		if size == 0 {
-			rep.problemf("%s: entry %d has zero size", label, i)
+	// The entry table and totals are only guaranteed durable while the
+	// commit record is in the temp-valid phase: the step-1 commit write
+	// fences them, and recovery replays from them. Once the record is in
+	// the applied phase the table may legitimately be mid-overwrite by the
+	// next checkpoint's in-flight gather, so it is not validated then.
+	if phase == 1 {
+		count := st.ReadU64(metaBase + 16)
+		total := st.ReadU64(metaBase + 24)
+		entryBytes := count * 16
+		dataBase := metaBase + 64 + ((entryBytes + 63) &^ 63)
+		if dataBase+total > metaBase+metaSize {
+			rep.problemf("%s: payload (%d entries, %d bytes) overflows meta area", label, count, total)
 			return
 		}
-		if off+size > segSize {
-			rep.problemf("%s: entry %d [%#x+%d] outside segment (%d bytes)", label, i, off, size, segSize)
-			return
+		var sum uint64
+		for i := uint64(0); i < count; i++ {
+			off := st.ReadU64(metaBase + 64 + i*16)
+			size := st.ReadU64(metaBase + 64 + i*16 + 8)
+			if size == 0 {
+				rep.problemf("%s: entry %d has zero size", label, i)
+				return
+			}
+			if off+size > segSize {
+				rep.problemf("%s: entry %d [%#x+%d] outside segment (%d bytes)", label, i, off, size, segSize)
+				return
+			}
+			sum += size
 		}
-		sum += size
-	}
-	if sum != total {
-		rep.problemf("%s: entry sizes sum to %d, header says %d", label, sum, total)
+		if sum != total {
+			rep.problemf("%s: entry sizes sum to %d, header says %d", label, sum, total)
+		}
 	}
 	minOff := st.ReadU64(metaBase + 32)
 	if minOff > segSize {

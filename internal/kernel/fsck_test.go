@@ -92,7 +92,7 @@ func TestFsckDetectsSizeMismatch(t *testing.T) {
 	p := k.FindProc("fscked")
 	meta := p.Threads[0].StackSeg.MetaBase
 	st := k.Mach.Storage
-	st.WriteU64(meta, 2)       // applied
+	st.WriteU64(meta, 1)       // temp-valid: the only phase whose table is fenced
 	st.WriteU64(meta+16, 1)    // one entry
 	st.WriteU64(meta+24, 999)  // header total inconsistent with entry
 	st.WriteU64(meta+64, 0)    // off

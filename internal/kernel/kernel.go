@@ -102,7 +102,7 @@ func New(cfg Config) *Kernel {
 		k.Trackers = append(k.Trackers, tr)
 		k.cores = append(k.cores, &coreState{id: i, core: c, idle: true})
 	}
-	k.super = loadOrInitSuperblock(m.Storage)
+	k.super = loadOrInitSuperblock(m.Storage, m.PersistNVM)
 	for _, cs := range k.cores {
 		cs := cs
 		m.Eng.NewTicker(cfg.Quantum, func() { k.timerTick(cs) })
@@ -342,16 +342,27 @@ const (
 
 type superblock struct {
 	storage *mem.Storage
+	// persist promotes superblock words across the NVM persistence
+	// domain (the kernel fences its tiny directory updates
+	// synchronously); nil means no domain (read-only uses like Fsck).
+	persist func(addr, size uint64)
 	// nvmCursor is the bump pointer for NVM area allocation, persisted in
 	// the superblock so reboots do not re-hand-out used regions.
 }
 
-func loadOrInitSuperblock(st *mem.Storage) *superblock {
-	s := &superblock{storage: st}
+func (s *superblock) fence(addr, size uint64) {
+	if s.persist != nil {
+		s.persist(addr, size)
+	}
+}
+
+func loadOrInitSuperblock(st *mem.Storage, persist func(addr, size uint64)) *superblock {
+	s := &superblock{storage: st, persist: persist}
 	if st.ReadU64(superBase) != superMagic {
 		st.WriteU64(superBase, superMagic)
 		st.WriteU64(superBase+8, 0)                       // proc count
 		st.WriteU64(superBase+16, superBase+mem.PageSize) // NVM bump cursor
+		s.fence(superBase, 24)
 	}
 	return s
 }
@@ -375,6 +386,7 @@ func (s *superblock) allocNVM(bytes uint64) uint64 {
 		panic("kernel: out of NVM checkpoint space")
 	}
 	s.storage.WriteU64(superBase+16, cur+bytes)
+	s.fence(superBase+16, 8)
 	return cur
 }
 
@@ -388,7 +400,9 @@ func (s *superblock) addProc(name string, headerAddr uint64) int {
 	copy(nameBuf[:], name)
 	s.storage.Write(rec, nameBuf[:])
 	s.storage.WriteU64(rec+48, headerAddr)
+	s.fence(rec, 56)
 	s.storage.WriteU64(superBase+8, uint64(n+1))
+	s.fence(superBase+8, 8)
 	return n
 }
 

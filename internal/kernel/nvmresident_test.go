@@ -11,8 +11,12 @@ import (
 )
 
 // NVM-resident mechanisms (SSP, Romulus) place the stack's working pages
-// in NVM, so the bytes themselves survive a power failure in place — the
-// property that lets those schemes skip copy-back recovery entirely.
+// in NVM, so the committed bytes survive a power failure in place — but
+// only once the persistence hardware has actually written them to the
+// media. At the instant a checkpoint commits, the crash image must hold
+// the committed stack: for SSP the main frames themselves (every modified
+// line was written back), for Romulus the backup twin in the image area
+// (the replay completed before the commit).
 func TestNVMResidentStackSurvivesCrash(t *testing.T) {
 	for _, mechName := range []string{"ssp", "romulus"} {
 		mechName := mechName
@@ -29,34 +33,58 @@ func TestNVMResidentStackSurvivesCrash(t *testing.T) {
 				StackMech: factory,
 				Seed:      6,
 			}, workload.NewRandom(workload.MicroParams{ArrayBytes: 8 << 10, WritesPerRun: 64}))
-			k.RunFor(200 * sim.Microsecond)
+			k.RunFor(50 * sim.Microsecond)
 
 			th := p.Threads[0]
 			// Every mapped stack page must be in NVM.
-			var stackPages []uint64
+			var stackVAs []uint64
 			for va := th.StackSeg.Lo; va < th.StackSeg.Hi; va += mem.PageSize {
 				if paddr, _, ok := p.AS.PT.Translate(va); ok {
 					if !mem.IsNVM(paddr) {
 						t.Fatalf("stack page %#x in DRAM (%#x) under %s", va, paddr, mechName)
 					}
-					stackPages = append(stackPages, paddr)
+					stackVAs = append(stackVAs, va)
 				}
 			}
-			if len(stackPages) == 0 {
+			if len(stackVAs) == 0 {
 				t.Fatal("no stack pages mapped")
 			}
-			// Record contents, crash, verify in-place survival.
-			want := make([]byte, mem.PageSize)
-			k.Mach.Storage.Read(stackPages[0], want)
-			p.Shutdown()
-			k.Mach.Crash()
-			got := make([]byte, mem.PageSize)
-			k.Mach.Storage.Read(stackPages[0], got)
-			for i := range want {
-				if want[i] != got[i] {
-					t.Fatalf("%s: NVM-resident stack byte %d lost at crash", mechName, i)
+
+			// Checkpoint; the done callback fires at commit while the
+			// thread is still quiesced, so the functional stack equals
+			// the committed epoch exactly there.
+			committed := false
+			p.Checkpoint(func() {
+				committed = true
+				img := k.Mach.CrashImage()
+				live := make([]byte, mem.PageSize)
+				durable := make([]byte, mem.PageSize)
+				for _, va := range stackVAs {
+					paddr, _, ok := p.AS.PT.Translate(va)
+					if !ok {
+						t.Fatalf("stack page %#x unmapped at commit", va)
+					}
+					k.Mach.Storage.Read(paddr, live)
+					switch mechName {
+					case "ssp":
+						img.Read(paddr, durable)
+					case "romulus":
+						img.Read(th.StackSeg.ImageBase+(va-th.StackSeg.Lo), durable)
+					}
+					for i := range live {
+						if live[i] != durable[i] {
+							t.Fatalf("%s: committed stack byte %#x+%d not durable at commit", mechName, va, i)
+						}
+					}
 				}
+			})
+			// Romulus replays its whole store log entry by entry, so give
+			// the commit plenty of simulated time.
+			k.RunFor(5000 * sim.Microsecond)
+			if !committed {
+				t.Fatal("checkpoint never committed")
 			}
+			p.Shutdown()
 		})
 	}
 }

@@ -77,7 +77,14 @@ type Thread struct {
 	Ctx      workload.Context
 	StackSeg persist.Segment
 	mech     persist.Mechanism
-	regArea  uint64 // NVM register-save area
+	regArea  uint64 // NVM register-save area (two page-sized slots)
+
+	// ckptEpoch counts this thread's completed register+stack persists.
+	// It advances in lockstep with the stack mechanism's durable commit
+	// sequence and selects which register slot the next save targets;
+	// threads that finish early stop persisting, so it can lag the
+	// process-wide commit sequence.
+	ckptEpoch uint64
 
 	home  *coreState
 	state threadState
@@ -111,6 +118,12 @@ func (t *Thread) State() string {
 // Mech exposes the thread's stack persistence mechanism.
 func (t *Thread) Mech() persist.Mechanism { return t.mech }
 
+// CkptEpoch returns the thread's completed checkpoint epoch. On a
+// recovered process it is the epoch recovery restored the thread to,
+// which the crash-sweep harness checks against the durable commit
+// sequence.
+func (t *Thread) CkptEpoch() uint64 { return t.ckptEpoch }
+
 // SP returns the thread's last architectural stack pointer (tracing and
 // the SP-awareness analyses read it).
 func (t *Thread) SP() uint64 { return t.sp }
@@ -134,6 +147,12 @@ type Process struct {
 
 	checkpointing bool
 	traceTrack    telemetry.Track // checkpoint-epoch lane (zero when disabled)
+
+	// OnCommit, when set, fires inside every checkpoint's commit callback
+	// with the just-committed sequence number, while all threads are
+	// still quiesced — the crash-sweep harness snapshots golden state
+	// here. It must not block or mutate the process.
+	OnCommit func(seq uint64)
 
 	// Checkpoints completed and cumulative checkpoint statistics.
 	CheckpointCount uint64
@@ -246,7 +265,10 @@ func (p *Process) newThread(i int, prog workload.Program) *Thread {
 		MetaBase:  k.super.allocNVM(cfg.StackReserve + (1 << 18)),
 		MetaSize:  cfg.StackReserve + (1 << 18),
 	}
-	t.regArea = k.super.allocNVM(mem.PageSize)
+	// Two register slots, alternated by checkpoint epoch: the save for
+	// epoch E+1 must not overwrite the last committed epoch's registers
+	// before E+1 commits (power can fail in between).
+	t.regArea = k.super.allocNVM(2 * mem.PageSize)
 	t.mech.Attach(k.env(p), t.StackSeg)
 	return t
 }
@@ -335,6 +357,7 @@ func (p *Process) writeHeader() {
 		putU64(buf, off+24, t.regArea)
 	}
 	st.Write(p.headerAddr, buf)
+	p.kern.Mach.PersistNVM(p.headerAddr, mem.PageSize)
 }
 
 // Done reports whether all threads have finished.

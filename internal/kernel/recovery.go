@@ -79,16 +79,46 @@ func (k *Kernel) RecoverProcess(cfg ProcessConfig, progs []workload.Program, don
 		// every checkpoint; here we derive it from the recorded reserve
 		// and the register save.
 		regArea := mustU64(hdr, off+24)
-		reg := make([]byte, mem.PageSize)
-		st.Read(regArea, reg)
-		sp := mustU64(reg, 0)
-		storeSeq := mustU64(reg, 8)
-		snapLen := mustU64(reg, 16)
+		metaBase := mustU64(hdr, off+8)
 
-		stackHi := ((sp + stackSpacing - 1) / stackSpacing) * stackSpacing
-		if sp == 0 {
+		// Per-thread recovery epoch. A power failure inside the commit
+		// window leaves the stack segment's step-1 commit record durable
+		// at seq+1 while the process header still reads seq; the image may
+		// already be partially applied and can only be rolled forward, so
+		// the durable stack sequence — not the header — dictates this
+		// thread's epoch. Mechanisms without a durable sequence fall back
+		// to the committed header epoch.
+		epoch := seq
+		if ms, ok := persist.DurableSegmentSeq(st, metaBase); ok {
+			epoch = ms
+		}
+		// Pick the register slot stamped with that epoch; fall back to the
+		// newest older stamp (threads that finish early stop saving
+		// registers, so their stamp can lag). Slots stamped past the epoch
+		// belong to a persist whose stack never became durable.
+		reg := make([]byte, mem.PageSize)
+		slot := make([]byte, mem.PageSize)
+		found := false
+		var regEpoch uint64
+		for s := uint64(0); s < 2; s++ {
+			st.Read(regArea+s*mem.PageSize, slot)
+			stamp := mustU64(slot, 16)
+			if mustU64(slot, 0) == 0 || stamp > epoch {
+				continue
+			}
+			if !found || stamp > regEpoch {
+				found, regEpoch = true, stamp
+				copy(reg, slot)
+			}
+		}
+		if !found {
 			return fmt.Errorf("kernel: thread %d has no register checkpoint", i)
 		}
+		sp := mustU64(reg, 0)
+		storeSeq := mustU64(reg, 8)
+		snapLen := mustU64(reg, 24)
+
+		stackHi := ((sp + stackSpacing - 1) / stackSpacing) * stackSpacing
 		stackLo := stackHi - cfg.StackReserve
 		t := &Thread{
 			TID:  i,
@@ -117,15 +147,16 @@ func (k *Kernel) RecoverProcess(cfg ProcessConfig, progs []workload.Program, don
 		t.StackSeg = persist.Segment{
 			Lo: stackLo, Hi: stackHi, Kind: vm.KindStack,
 			ImageBase: mustU64(hdr, off),
-			MetaBase:  mustU64(hdr, off+8),
+			MetaBase:  metaBase,
 			MetaSize:  mustU64(hdr, off+16),
 		}
 		t.regArea = regArea
+		t.ckptEpoch = regEpoch
 		t.mech.Attach(k.env(p), t.StackSeg)
 
 		t.Prog.Start(t.Ctx)
 		if c, ok := t.Prog.(workload.Checkpointable); ok && snapLen > 0 {
-			c.Restore(reg[24 : 24+snapLen])
+			c.Restore(reg[32 : 32+snapLen])
 		}
 		p.Threads = append(p.Threads, t)
 	}

@@ -23,8 +23,16 @@ type Config struct {
 	// Storage, when non-nil, backs the machine with an existing
 	// functional store — the post-crash reboot path: NVM contents
 	// survive in the shared Storage while the new machine starts with
-	// cold caches and TLBs.
+	// cold caches and TLBs. The surviving NVM content seeds the new
+	// machine's persistence domain as already-durable.
 	Storage *mem.Storage
+
+	// ADR enables asynchronous-DRAM-refresh-style flush-on-fail
+	// hardware in the NVM persistence domain: writes already admitted
+	// to the device drain to durable media on power loss. The default
+	// (false) models the harsher no-ADR domain, where only writes whose
+	// device latency completed before the failure survive.
+	ADR bool
 }
 
 func (c Config) withDefaults() Config {
@@ -51,6 +59,7 @@ type Machine struct {
 	Cfg     Config
 	Eng     *sim.Engine
 	Storage *mem.Storage
+	Domain  *mem.Domain
 	Ctl     *mem.Controller
 	Hier    *cache.Hierarchy
 	Cores   []*Core
@@ -74,6 +83,7 @@ func New(cfg Config) *Machine {
 		Cfg:     cfg,
 		Eng:     eng,
 		Storage: storage,
+		Domain:  mem.NewDomain(storage, cfg.ADR),
 		Ctl:     ctl,
 		Hier:    cache.NewHierarchy(eng, cfg.Cores, cache.PortFunc(ctl.Access)),
 		// DRAM frames cover the whole device. The NVM frame pool covers
@@ -85,23 +95,40 @@ func New(cfg Config) *Machine {
 		NVMFrames:  mem.NewFrameAllocator(mem.NVMBase+mem.NVMSize/2, mem.NVMSize/2),
 		Counters:   stats.NewCounters(),
 	}
+	ctl.NVM.SetPersistSink(m.Domain)
 	for i := 0; i < cfg.Cores; i++ {
 		m.Cores = append(m.Cores, newCore(m, i))
 	}
 	return m
 }
 
-// Crash models a power failure: all caches and DRAM contents are lost;
-// NVM contents survive. Pending simulation events are abandoned by the
-// caller constructing a fresh Machine for the post-crash boot; this
-// method only applies the data-loss semantics to the shared Storage.
+// Crash models a power failure in place on the shared Storage: all
+// caches and DRAM contents are lost, and NVM reverts to the persistence
+// domain's durable shadow — only writes whose timed device access had
+// completed (plus, in ADR mode, writes already admitted to the device)
+// survive; everything else, including functional-only NVM updates that
+// never went through the controller, is rolled back. Pending simulation
+// events are abandoned by the caller constructing a fresh Machine for
+// the post-crash boot (see CrashImage for the non-mutating variant).
 func (m *Machine) Crash() {
-	// Dirty lines in caches never reached memory; since Storage is
-	// functional-first, we approximate cache loss by dropping DRAM, which
-	// subsumes it for all user data (NVM persists only what the
-	// checkpoint engine explicitly copied and fenced).
+	m.Domain.Crash()
 	m.Storage.DropRange(mem.DRAMBase, mem.DRAMSize)
 	m.Counters.Inc("machine.crashes")
+}
+
+// CrashImage returns the Storage a power failure at this instant would
+// leave behind — the durable NVM shadow only, with DRAM absent — without
+// disturbing the running machine. Handing it to a fresh Machine (via
+// Config.Storage) boots the post-crash survivor.
+func (m *Machine) CrashImage() *mem.Storage {
+	return m.Domain.CrashImage()
+}
+
+// PersistNVM functionally promotes [addr, addr+size) to the durable NVM
+// shadow with no timing cost; see mem.Domain.Persist for when this is
+// legitimate (tiny synchronously-fenced kernel metadata only).
+func (m *Machine) PersistNVM(addr, size uint64) {
+	m.Domain.Persist(addr, size)
 }
 
 // CopyPhys performs a timed, pipelined physical-memory copy of n bytes
@@ -137,6 +164,13 @@ func (m *Machine) CopyPhys(dst, src uint64, n int, done func()) {
 					inFlight--
 					completed++
 					if completed == lines {
+						// The line count is derived from the source
+						// alignment; when src and dst straddle lines
+						// differently the last destination line gets no
+						// timed write of its own, so promote the exact
+						// copied range now that the engine is done —
+						// mid-copy crashes still tear at line boundaries.
+						m.Domain.Persist(dst, uint64(n))
 						if done != nil {
 							done()
 						}

@@ -260,17 +260,26 @@ func TestCrashDropsDRAMKeepsNVM(t *testing.T) {
 	m, core, _ := testEnv(t)
 	core.Write(0x10000, []byte{7}, nil)
 	m.Eng.Run()
-	m.Storage.WriteU64(mem.NVMBase+0x100, 0xfeed)
+	// A write whose timed device access completed is inside the
+	// persistence domain and survives.
+	m.WritePhys(mem.NVMBase+0x100, []byte{0xed, 0xfe}, nil)
+	m.Eng.Run()
+	// A functional-only NVM update never went through the device: it is
+	// still on the volatile side of the domain and must NOT survive.
+	m.Storage.WriteU64(mem.NVMBase+0x200, 0xdead)
 	m.Crash()
 	buf := make([]byte, 1)
-	paddrLost := true
 	// All DRAM pages are zero after crash.
 	m.Storage.Read(0x10000, buf)
-	_ = buf
-	if m.Storage.ReadU64(mem.NVMBase+0x100) != 0xfeed {
-		t.Fatal("NVM lost at crash")
+	if buf[0] != 0 {
+		t.Fatal("DRAM survived crash")
 	}
-	_ = paddrLost
+	if got := m.Storage.ReadU64(mem.NVMBase + 0x100); got&0xffff != 0xfeed {
+		t.Fatalf("durable NVM lost at crash: %#x", got)
+	}
+	if m.Storage.ReadU64(mem.NVMBase+0x200) != 0 {
+		t.Fatal("volatile NVM write survived crash")
+	}
 }
 
 // Property: arbitrary write/read sequences through the core behave like a

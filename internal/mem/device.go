@@ -69,6 +69,17 @@ type pendingAccess struct {
 	done  func()
 }
 
+// PersistSink observes a device's write stream so a persistence domain
+// can track which lines have actually reached durable media. Both hooks
+// are pure observers: they must not schedule events or alter timing.
+type PersistSink interface {
+	// WriteAdmitted fires when a write begins service at the device
+	// (its functional bytes are already in Storage at that point).
+	WriteAdmitted(addr uint64)
+	// WriteCompleted fires when that write's device latency elapses.
+	WriteCompleted(addr uint64)
+}
+
 // Device is the timing model of one memory device. It services accesses
 // through banked queues with a shared channel bus and optional per-class
 // buffer backpressure. Function (data movement) lives in Storage, not here.
@@ -82,6 +93,7 @@ type Device struct {
 	inflightReads  int
 	inflightWrites int
 	waiting        []pendingAccess
+	sink           PersistSink
 
 	Counters *stats.Counters
 }
@@ -101,6 +113,10 @@ func NewDevice(eng *sim.Engine, cfg DeviceConfig) *Device {
 
 // Name returns the configured device name.
 func (d *Device) Name() string { return d.cfg.Name }
+
+// SetPersistSink attaches a persistence-domain observer to the device's
+// write stream (nil detaches it).
+func (d *Device) SetPersistSink(s PersistSink) { d.sink = s }
 
 // Access requests one line-sized access at addr; done fires when the
 // device completes it. Writes may be delayed by write-buffer backpressure.
@@ -134,6 +150,9 @@ func (d *Device) start(p pendingAccess) {
 		occupancy, latency = d.cfg.BankBusyWrite, d.cfg.WriteLatency
 		d.inflightWrites++
 		d.Counters.Inc(d.cfg.Name + ".writes")
+		if d.sink != nil {
+			d.sink.WriteAdmitted(p.addr)
+		}
 	} else {
 		occupancy, latency = d.cfg.BankBusyRead, d.cfg.ReadLatency
 		d.inflightReads++
@@ -143,10 +162,14 @@ func (d *Device) start(p pendingAccess) {
 	d.busFreeAt = start + d.cfg.BusPerAccess
 	finish := start + latency
 	write := p.write
+	addr := p.addr
 	done := p.done
 	d.eng.At(finish, func() {
 		if write {
 			d.inflightWrites--
+			if d.sink != nil {
+				d.sink.WriteCompleted(addr)
+			}
 		} else {
 			d.inflightReads--
 		}

@@ -1,0 +1,126 @@
+package mem
+
+import (
+	"testing"
+
+	"prosper/internal/sim"
+)
+
+// toyConfig is a small device for exact backpressure arithmetic: two
+// banks, tiny buffers, unit bus cost.
+func toyConfig() DeviceConfig {
+	return DeviceConfig{
+		Name:          "toy",
+		ReadLatency:   10,
+		WriteLatency:  20,
+		Banks:         2,
+		BankBusyRead:  5,
+		BankBusyWrite: 5,
+		BusPerAccess:  1,
+		ReadBuffer:    2,
+		WriteBuffer:   1,
+	}
+}
+
+// Buffer-limit accounting across device shapes. Every access is issued at
+// cycle 0, before any completion can free a slot, so the stall count is
+// exactly the admissions beyond each class's buffer, the queue depths
+// equal the offered load, and everything still completes once the engine
+// runs the backlog down.
+func TestDeviceBackpressureTable(t *testing.T) {
+	cases := []struct {
+		name          string
+		cfg           DeviceConfig
+		reads, writes int
+		wantStalls    uint64
+	}{
+		{"dram unlimited buffers", DDR4Config(), 100, 100, 0},
+		{"nvm write buffer saturated", PCMConfig(), 0, 60, 60 - 48},
+		{"nvm read buffer saturated", PCMConfig(), 80, 0, 80 - 64},
+		{"nvm both classes over", PCMConfig(), 80, 60, (80 - 64) + (60 - 48)},
+		{"nvm under both limits", PCMConfig(), 64, 48, 0},
+		{"toy tiny buffers", toyConfig(), 5, 4, (5 - 2) + (4 - 1)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			eng := sim.NewEngine()
+			d := NewDevice(eng, tc.cfg)
+			completed := 0
+			for i := 0; i < tc.reads; i++ {
+				d.Access(false, uint64(i)*LineSize, func() { completed++ })
+			}
+			for i := 0; i < tc.writes; i++ {
+				d.Access(true, uint64(tc.reads+i)*LineSize, func() { completed++ })
+			}
+
+			if got := d.Counters.Get(tc.cfg.Name + ".buffer_stalls"); got != tc.wantStalls {
+				t.Errorf("buffer_stalls = %d, want %d", got, tc.wantStalls)
+			}
+			if got := d.ReadQueueDepth(); got != tc.reads {
+				t.Errorf("ReadQueueDepth = %d, want %d", got, tc.reads)
+			}
+			if got := d.WriteQueueDepth(); got != tc.writes {
+				t.Errorf("WriteQueueDepth = %d, want %d", got, tc.writes)
+			}
+			if tc.reads+tc.writes > 0 {
+				if w := d.EstimatedWait(); w <= 0 {
+					t.Errorf("EstimatedWait = %d under backlog, want > 0", w)
+				}
+			}
+
+			eng.Run()
+			if completed != tc.reads+tc.writes {
+				t.Errorf("completed = %d, want %d", completed, tc.reads+tc.writes)
+			}
+			if d.ReadQueueDepth() != 0 || d.WriteQueueDepth() != 0 {
+				t.Errorf("queues not drained: reads %d writes %d", d.ReadQueueDepth(), d.WriteQueueDepth())
+			}
+			if w := d.EstimatedWait(); w != 0 {
+				t.Errorf("EstimatedWait = %d when idle, want 0", w)
+			}
+		})
+	}
+}
+
+// EstimatedWait must grow with the backlog: a device under a deep write
+// burst must predict a longer queueing delay than one with a single
+// in-flight write.
+func TestEstimatedWaitTracksBacklog(t *testing.T) {
+	shallow := func(n int) sim.Time {
+		eng := sim.NewEngine()
+		d := NewDevice(eng, PCMConfig())
+		for i := 0; i < n; i++ {
+			d.Access(true, NVMBase+uint64(i)*LineSize, nil)
+		}
+		return d.EstimatedWait()
+	}
+	one, many := shallow(1), shallow(200)
+	if many <= one {
+		t.Fatalf("EstimatedWait(200 writes) = %d not above EstimatedWait(1 write) = %d", many, one)
+	}
+}
+
+// Stalled accesses must drain in admission order as slots free up, never
+// starving: with a 1-entry write buffer, completions release exactly one
+// waiter at a time and all still finish.
+func TestBackpressureDrainOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := toyConfig()
+	cfg.WriteBuffer = 1
+	d := NewDevice(eng, cfg)
+	var order []int
+	for i := 0; i < 6; i++ {
+		i := i
+		d.Access(true, uint64(i)*LineSize, func() { order = append(order, i) })
+	}
+	eng.Run()
+	if len(order) != 6 {
+		t.Fatalf("completed %d of 6 writes", len(order))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("completion order %v, want FIFO", order)
+		}
+	}
+}

@@ -118,3 +118,35 @@ func (s *Storage) DropRange(base, size uint64) {
 // MaterializedPages returns how many pages are currently backed, a proxy
 // for simulator memory footprint.
 func (s *Storage) MaterializedPages() int { return len(s.pages) }
+
+// CloneRange returns a new Storage holding deep copies of s's
+// materialized pages inside [base, base+size). Pages outside the range
+// are absent from the clone; the range must be page-aligned.
+func (s *Storage) CloneRange(base, size uint64) *Storage {
+	if base%PageSize != 0 || size%PageSize != 0 {
+		panic(fmt.Sprintf("mem: CloneRange not page aligned: %#x+%#x", base, size))
+	}
+	out := NewStorage()
+	for pageBase, p := range s.pages {
+		if pageBase >= base && pageBase < base+size {
+			cp := new([PageSize]byte)
+			*cp = *p
+			out.pages[pageBase] = cp
+		}
+	}
+	return out
+}
+
+// ReplaceRange makes s's content in [base, base+size) an exact deep copy
+// of from's content in the same range: pages materialized only in s are
+// dropped, pages in from are copied. The range must be page-aligned.
+func (s *Storage) ReplaceRange(base, size uint64, from *Storage) {
+	s.DropRange(base, size)
+	for pageBase, p := range from.pages {
+		if pageBase >= base && pageBase < base+size {
+			cp := new([PageSize]byte)
+			*cp = *p
+			s.pages[pageBase] = cp
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package persist
+
+// NewBrokenFence returns a deliberately defective persistence mechanism:
+// the page-granularity Dirtybit baseline with the classic missing
+// clwb+sfence pair — the commit record is issued before the payload it is
+// supposed to order after, and the payload blob's write-back is forgotten
+// outright (see base.persistExtents). The temp-valid commit record
+// becomes durable while the durable temp blob still holds the previous
+// interval's bytes, so a power failure inside the window makes recovery
+// roll stale data forward.
+//
+// It exists purely as a planted bug for the crash-sweep harness's
+// self-test: a sweep that does not flag this mechanism is not checking
+// anything. Never use it in experiments.
+func NewBrokenFence(cfg DirtybitConfig) Factory {
+	return func() Mechanism {
+		m := &brokenFence{}
+		m.cfg = cfg.withDefaults()
+		m.brokenFence = true
+		return m
+	}
+}
+
+type brokenFence struct {
+	Dirtybit
+}
+
+// Name implements Mechanism.
+func (m *brokenFence) Name() string { return "brokenfence" }

@@ -105,13 +105,35 @@ type base struct {
 	applying     bool
 	applyWaiters []func()
 
+	// brokenFence deliberately commits the step-1 record without waiting
+	// for the payload to become durable. It exists only so the crash-sweep
+	// harness can prove it detects a mis-fenced mechanism; see
+	// NewBrokenFence.
+	brokenFence bool
+
 	Counters *stats.Counters
 }
 
 func (b *base) attach(env *Env, seg Segment) {
 	b.env = env
 	b.seg = seg
+	// Resume the durable commit sequence: after a post-crash re-attach the
+	// meta area carries the last sequence that reached NVM, and fresh
+	// segments read zero from their never-touched area.
+	b.seq = env.Mach.Storage.ReadU64(seg.MetaBase + metaSeq)
 	b.Counters = stats.NewCounters()
+}
+
+// DurableSegmentSeq reads a segment's durable commit sequence from its
+// meta area on a (possibly crashed) storage image. ok is false when the
+// segment has never written a commit record — mechanisms without a
+// durable sequence, or segments that never checkpointed.
+func DurableSegmentSeq(st *mem.Storage, metaBase uint64) (seq uint64, ok bool) {
+	phase := st.ReadU64(metaBase + metaPhase)
+	if phase == phaseEmpty || phase > phaseApplied {
+		return 0, false
+	}
+	return st.ReadU64(metaBase + metaSeq), true
 }
 
 // --- shared checkpoint plumbing -------------------------------------------
@@ -224,14 +246,9 @@ func (b *base) persistExtents(extents []extent, done func(Result)) {
 			remaining -= n
 		}
 	}
-	pending := 3 // source reads + blob write + entry table write
-	commit := func() {
-		pending--
-		if pending != 0 {
-			return
-		}
-		// Step 1c: commit record (temp valid). The low-water mark must be
-		// updated before the header snapshot reads it back.
+	// Step 1c: commit record (temp valid). The low-water mark must be
+	// updated before the header snapshot reads it back.
+	commitRecord := func() {
 		minOff := extents[0].off
 		for _, e := range extents {
 			if e.off < minOff {
@@ -248,12 +265,33 @@ func (b *base) persistExtents(extents []extent, done func(Result)) {
 			b.applyAsync(seq, uint64(len(extents)), total, dataBase, extents)
 		})
 	}
+	pending := 3 // source reads + blob write + entry table write
+	commit := func() {
+		pending--
+		if pending != 0 {
+			return
+		}
+		commitRecord()
+	}
+	if b.brokenFence {
+		// Broken on purpose: the commit record is issued BEFORE the
+		// payload it is supposed to order after, and the blob's flush is
+		// forgotten outright — the classic missing clwb+sfence pair. The
+		// temp-valid record becomes durable while the durable temp blob
+		// still holds the previous interval's bytes, so a power failure
+		// inside the window makes recovery roll stale data forward. Only
+		// NewBrokenFence sets this.
+		commit = func() {}
+		commitRecord()
+	}
 	// Timed traffic for the gather: scattered DRAM reads of the sources
 	// (pipelined) and a contiguous NVM write of the blob.
 	readPhysLines(m, srcLines, commit)
 	m.WritePhys(b.seg.MetaBase+metaEntries, table, commit)
-	// The functional blob is already in place; issue the timed burst.
-	writePhysRange(m, dataBase, total, commit)
+	if !b.brokenFence {
+		// The functional blob is already in place; issue the timed burst.
+		writePhysRange(m, dataBase, total, commit)
+	}
 }
 
 // applyAsync is step 2: redo the temp buffer onto the image.

@@ -116,8 +116,32 @@ func (r *Romulus) Checkpoint(done func(Result)) {
 	pump()
 }
 
-// Recover implements Mechanism: the main copy is already in NVM and
-// survives; Romulus recovery selects the consistent twin. Our functional
-// model keeps a single authoritative copy, so recovery is a no-op (the
-// timing study is what this mechanism exists for; see DESIGN.md §4).
-func (r *Romulus) Recover(done func()) { r.env.Eng().Schedule(0, done) }
+// Recover implements Mechanism: the backup twin in the image area is the
+// consistent copy (the main copy may hold stores from the interrupted
+// interval, and a fresh boot hands the segment new NVM frames anyway),
+// so recovery maps the segment and copies the backup into the new main
+// frames. The backup is offset-contiguous, and lines never logged are
+// zero in both twins, so a whole-segment copy is exact.
+func (r *Romulus) Recover(done func()) {
+	r.env.AS.EnsureRange(r.seg.Lo, r.seg.Hi)
+	pending := 0
+	fired := false
+	complete := func() {
+		pending--
+		if pending == 0 && fired {
+			done()
+		}
+	}
+	for va := r.seg.Lo; va < r.seg.Hi; va += mem.PageSize {
+		paddr, _, ok := r.env.AS.PT.Translate(va)
+		if !ok {
+			panic("persist: romulus recovery mapping failed")
+		}
+		pending++
+		r.env.Mach.CopyPhys(paddr, r.seg.ImageBase+(va-r.seg.Lo), mem.PageSize, complete)
+	}
+	fired = true
+	if pending == 0 {
+		r.env.Eng().Schedule(0, done)
+	}
+}

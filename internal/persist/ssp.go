@@ -203,6 +203,7 @@ func (s *SSP) Checkpoint(done func(Result)) {
 	complete := func() {
 		pendingOps--
 		if pendingOps == 0 && fired {
+			s.commitEpoch()
 			done(res)
 		}
 	}
@@ -221,20 +222,85 @@ func (s *SSP) Checkpoint(done func(Result)) {
 			pendingOps++
 			m.Ctl.Access(true, paddr+uint64(l)*mem.LineSize, complete) // clwb
 		}
-		// Commit-bitmap update in NVM: one line write per page entry.
+		// Commit-bitmap update in NVM: one line write per page entry. The
+		// entry functionally records the page's main NVM frame so recovery
+		// can rebuild the virtual->frame mapping; the durability of that
+		// record rides this same timed line write through the persistence
+		// domain (no extra traffic).
 		pendingOps++
 		commitAddr := s.seg.MetaBase + metaEntries + ((w.page-s.seg.Lo)/mem.PageSize)*8
+		m.Storage.WriteU64(commitAddr, paddr&^(mem.PageSize-1))
 		m.Ctl.Access(true, commitAddr, complete)
 		res.MetaScanned++
 	}
 	s.working = make(map[uint64]uint64)
 	fired = true
 	if pendingOps == 0 {
-		s.env.Eng().Schedule(0, func() { done(res) })
+		s.env.Eng().Schedule(0, func() {
+			s.commitEpoch()
+			done(res)
+		})
 	}
 }
 
-// Recover implements Mechanism: data is NVM-resident; the commit bitmap
-// selects consistent line versions in the real scheme. Our single-copy
-// functional model needs no repair.
-func (s *SSP) Recover(done func()) { s.env.Eng().Schedule(0, done) }
+// commitEpoch records the completed interval's sequence number in the
+// segment's commit record. SSP has no single atomic commit point (lines
+// persist in place as their writebacks complete); the sequence word is a
+// tiny metadata update promoted across the persistence domain when the
+// interval's last writeback has already completed.
+func (s *SSP) commitEpoch() {
+	s.seq++
+	st := s.env.Mach.Storage
+	st.WriteU64(s.seg.MetaBase+metaPhase, phaseApplied)
+	st.WriteU64(s.seg.MetaBase+metaSeq, s.seq)
+	s.env.Mach.PersistNVM(s.seg.MetaBase, 16)
+}
+
+// Recover implements Mechanism: the durable commit-bitmap entries name
+// the NVM frame that held each committed virtual page. The fresh address
+// space hands out new frames, so recovery first gathers every surviving
+// page's bytes from its old frame (before any remapping can reuse those
+// frames), then maps the pages and writes the contents into the new
+// frames. Lines never written before the crash are zero in both the old
+// and the new frame, so whole-page copies are safe.
+func (s *SSP) Recover(done func()) {
+	m := s.env.Mach
+	st := m.Storage
+	if st.ReadU64(s.seg.MetaBase+metaPhase) == phaseEmpty {
+		s.env.Eng().Schedule(0, done)
+		return
+	}
+	type page struct {
+		va   uint64
+		data []byte
+	}
+	var pages []page
+	nPages := s.seg.Size() / mem.PageSize
+	for i := uint64(0); i < nPages; i++ {
+		frame := st.ReadU64(s.seg.MetaBase + metaEntries + i*8)
+		if frame == 0 {
+			continue
+		}
+		buf := make([]byte, mem.PageSize)
+		st.Read(frame, buf)
+		pages = append(pages, page{va: s.seg.Lo + i*mem.PageSize, data: buf})
+	}
+	if len(pages) == 0 {
+		s.env.Eng().Schedule(0, done)
+		return
+	}
+	pending := len(pages)
+	for _, pg := range pages {
+		s.env.AS.EnsureRange(pg.va, pg.va+mem.PageSize)
+		paddr, _, ok := s.env.AS.PT.Translate(pg.va)
+		if !ok {
+			panic("persist: ssp recovery mapping failed")
+		}
+		m.WritePhys(paddr, pg.data, func() {
+			pending--
+			if pending == 0 {
+				done()
+			}
+		})
+	}
+}
