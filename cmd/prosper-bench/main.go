@@ -1,0 +1,296 @@
+// Command prosper-bench runs a pinned benchmark suite on the simulated
+// machine and emits a machine-readable report for regression tracking.
+//
+// Usage:
+//
+//	prosper-bench [-quick] [-out FILE] [-parallel n]
+//	prosper-bench -compare OLD.json [-tolerance pct] [-quick] [-parallel n]
+//
+// The report has two sections. "deterministic" holds simulation metrics
+// (user ops/cycles and the IPC proxy, checkpoint counts and bytes, and
+// the checkpoint-pause distribution with its quantiles) — these are
+// byte-for-byte reproducible for a given suite on any machine and any
+// -parallel value, so every out-of-tolerance difference against a
+// baseline is a real behavior change. "host_nondeterministic" holds
+// wall-clock time and allocation totals: useful for eyeballing simulator
+// performance, excluded from -compare because they vary run to run.
+//
+// -compare loads a previous report and exits non-zero if any
+// deterministic metric drifted beyond -tolerance percent (default 0:
+// exact match), or if the two reports cover different runs. Compare
+// like-for-like: a -quick run against a -quick baseline (the committed
+// BENCH_0004.json is the -quick suite).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"prosper/internal/persist"
+	"prosper/internal/runner"
+	"prosper/internal/sim"
+	"prosper/internal/workload"
+)
+
+const schemaVersion = "prosper-bench/1"
+
+// report is the serialized benchmark outcome. encoding/json marshals
+// maps with sorted keys, so the emitted bytes are deterministic for the
+// deterministic section.
+type report struct {
+	Schema string `json:"schema"`
+	Suite  string `json:"suite"`
+	// Deterministic maps "bench/mechanism" to integral simulation
+	// metrics. Identical for every run of the same binary and suite.
+	Deterministic map[string]map[string]uint64 `json:"deterministic"`
+	// Host metrics vary run to run; -compare ignores this section.
+	Host hostStats `json:"host_nondeterministic"`
+}
+
+type hostStats struct {
+	Note       string `json:"note"`
+	WallMillis int64  `json:"wall_ms"`
+	HeapAllocs uint64 `json:"heap_allocs"`
+	HeapBytes  uint64 `json:"heap_bytes"`
+}
+
+// suite returns the pinned run plan. The specs (workloads, mechanisms,
+// intervals, seeds) are part of the benchmark contract: changing any of
+// them invalidates committed baselines.
+func suite(quick bool) (string, []runner.Spec) {
+	type mech struct {
+		name    string
+		factory persist.Factory
+	}
+	var (
+		name     string
+		benches  []workload.AppParams
+		mechs    []mech
+		interval sim.Time
+		ckpts    int
+	)
+	if quick {
+		name = "quick"
+		benches = []workload.AppParams{workload.GapbsPR()}
+		mechs = []mech{
+			{"prosper", persist.NewProsper(persist.ProsperConfig{})},
+			{"dirtybit", persist.NewDirtybit(persist.DirtybitConfig{})},
+		}
+		interval, ckpts = 100*sim.Microsecond, 4
+	} else {
+		name = "full"
+		benches = []workload.AppParams{workload.GapbsPR(), workload.G500SSSP(), workload.YcsbMem()}
+		mechs = []mech{
+			{"prosper", persist.NewProsper(persist.ProsperConfig{})},
+			{"dirtybit", persist.NewDirtybit(persist.DirtybitConfig{})},
+			{"ssp-10us", persist.NewSSP(persist.SSPConfig{ConsolidationInterval: 10 * sim.Microsecond})},
+		}
+		interval, ckpts = 200*sim.Microsecond, 6
+	}
+	var specs []runner.Spec
+	for _, params := range benches {
+		params := params
+		prog := func() workload.Program { return workload.NewApp(params) }
+		for _, m := range mechs {
+			specs = append(specs, runner.Spec{
+				Name:        params.Name,
+				Label:       params.Name + "/" + m.name,
+				Prog:        prog,
+				StackMech:   m.factory,
+				Checkpoint:  true,
+				Interval:    interval,
+				Checkpoints: ckpts,
+				Warmup:      interval / 2,
+				Seed:        1,
+			})
+		}
+	}
+	return name, specs
+}
+
+// metrics flattens one run's deterministic simulation metrics.
+func metrics(r runner.RunStats) map[string]uint64 {
+	ipcMilli := uint64(0)
+	if r.UserCycles > 0 {
+		ipcMilli = r.UserOps * 1000 / r.UserCycles
+	}
+	m := map[string]uint64{
+		"user_ops":         r.UserOps,
+		"user_cycles":      r.UserCycles,
+		"ipc_milli":        ipcMilli,
+		"checkpoints":      r.Checkpoints,
+		"checkpoint_bytes": r.CheckpointBytes,
+		"stack_ckpt_bytes": r.StackCkptBytes,
+		"pause_count":      r.PauseCount,
+		"pause_cycles":     r.PauseTotal,
+		"pause_max":        r.PauseMax,
+		"pause_p50":        r.PauseP50,
+		"pause_p95":        r.PauseP95,
+		"pause_p99":        r.PauseP99,
+	}
+	for c, v := range r.PauseCauses {
+		m["pause_"+persist.Cause(c).String()] = v
+	}
+	return m
+}
+
+// runSuite executes the pinned plan and assembles the report.
+func runSuite(quick bool, workers int) report {
+	name, specs := suite(quick)
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	ex := runner.Executor{Workers: workers}
+	res, err := ex.Run(runner.Plan{Name: "bench-" + name, Specs: specs})
+	if err != nil {
+		panic(err)
+	}
+	wall := time.Since(start)
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+
+	rep := report{
+		Schema:        schemaVersion,
+		Suite:         name,
+		Deterministic: map[string]map[string]uint64{},
+		Host: hostStats{
+			Note:       "host-dependent; varies run to run; excluded from -compare",
+			WallMillis: wall.Milliseconds(),
+			HeapAllocs: ms1.Mallocs - ms0.Mallocs,
+			HeapBytes:  ms1.TotalAlloc - ms0.TotalAlloc,
+		},
+	}
+	for i, sp := range specs {
+		rep.Deterministic[sp.DisplayLabel()] = metrics(res[i])
+	}
+	return rep
+}
+
+// compare reports every deterministic metric of new that drifted beyond
+// tolerance percent from old, plus runs or metrics present on only one
+// side. An empty result means the reports agree.
+func compare(old, cur report, tolerancePct float64) []string {
+	var problems []string
+	if old.Schema != cur.Schema {
+		problems = append(problems, fmt.Sprintf("schema mismatch: baseline %q vs current %q", old.Schema, cur.Schema))
+	}
+	if old.Suite != cur.Suite {
+		problems = append(problems, fmt.Sprintf("suite mismatch: baseline %q vs current %q (compare like-for-like)", old.Suite, cur.Suite))
+	}
+	var runs []string
+	for name := range old.Deterministic {
+		runs = append(runs, name)
+	}
+	sort.Strings(runs)
+	for _, name := range runs {
+		curM, ok := cur.Deterministic[name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("run %q missing from current report", name))
+			continue
+		}
+		oldM := old.Deterministic[name]
+		var keys []string
+		for k := range oldM {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			nv, ok := curM[k]
+			if !ok {
+				problems = append(problems, fmt.Sprintf("%s: metric %q missing from current report", name, k))
+				continue
+			}
+			ov := oldM[k]
+			if ov == nv {
+				continue
+			}
+			base := float64(ov)
+			if base == 0 {
+				base = 1
+			}
+			deltaPct := (float64(nv) - float64(ov)) / base * 100
+			if deltaPct < 0 {
+				if -deltaPct <= tolerancePct {
+					continue
+				}
+			} else if deltaPct <= tolerancePct {
+				continue
+			}
+			problems = append(problems, fmt.Sprintf("REGRESSION %s.%s: baseline %d, current %d (%+.2f%%)", name, k, ov, nv, deltaPct))
+		}
+	}
+	for name := range cur.Deterministic {
+		if _, ok := old.Deterministic[name]; !ok {
+			problems = append(problems, fmt.Sprintf("run %q absent from baseline", name))
+		}
+	}
+	return problems
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("prosper-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "run the small pinned suite (the committed baseline's suite)")
+	out := fs.String("out", "", "write the JSON report to FILE (default stdout)")
+	comparePath := fs.String("compare", "", "compare deterministic metrics against a previous report; non-zero exit on drift")
+	tolerance := fs.Float64("tolerance", 0, "allowed per-metric drift for -compare, in percent")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent runs (results identical for any value)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "prosper-bench: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+
+	rep := runSuite(*quick, *parallel)
+
+	if *comparePath != "" {
+		raw, err := os.ReadFile(*comparePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "prosper-bench:", err)
+			return 2
+		}
+		var old report
+		if err := json.Unmarshal(raw, &old); err != nil {
+			fmt.Fprintf(stderr, "prosper-bench: parsing %s: %v\n", *comparePath, err)
+			return 2
+		}
+		problems := compare(old, rep, *tolerance)
+		if len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintln(stdout, p)
+			}
+			fmt.Fprintf(stdout, "prosper-bench: %d deterministic metric(s) drifted from %s\n", len(problems), *comparePath)
+			return 1
+		}
+		fmt.Fprintf(stdout, "prosper-bench: deterministic metrics match %s (tolerance %.2f%%)\n", *comparePath, *tolerance)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "prosper-bench:", err)
+		return 2
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(stderr, "prosper-bench:", err)
+			return 2
+		}
+	} else if *comparePath == "" {
+		stdout.Write(enc)
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestQuickSuiteDeterministic runs the quick suite twice (serial and
+// 4-way parallel) and asserts the deterministic sections are identical —
+// the contract that makes -compare meaningful.
+func TestQuickSuiteDeterministic(t *testing.T) {
+	a := runSuite(true, 1)
+	b := runSuite(true, 4)
+	aj, _ := json.Marshal(a.Deterministic)
+	bj, _ := json.Marshal(b.Deterministic)
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("deterministic sections differ between workers=1 and workers=4:\n%s\n--- vs ---\n%s", aj, bj)
+	}
+	if len(a.Deterministic) == 0 {
+		t.Fatal("quick suite produced no runs")
+	}
+	for name, m := range a.Deterministic {
+		if m["user_ops"] == 0 {
+			t.Errorf("%s: no user ops recorded", name)
+		}
+		if m["pause_count"] == 0 {
+			t.Errorf("%s: no pauses recorded", name)
+		}
+		var causes uint64
+		for k, v := range m {
+			if strings.HasPrefix(k, "pause_") {
+				switch k {
+				case "pause_count", "pause_cycles", "pause_max", "pause_p50", "pause_p95", "pause_p99":
+				default:
+					causes += v
+				}
+			}
+		}
+		if causes != m["pause_cycles"] {
+			t.Errorf("%s: pause causes sum %d != pause_cycles %d", name, causes, m["pause_cycles"])
+		}
+	}
+}
+
+// TestCompareSelfAndRegression writes a quick-suite baseline via run(),
+// proves a self-compare exits zero, and proves an injected regression in
+// one deterministic metric makes -compare exit non-zero and name the
+// offending metric.
+func TestCompareSelfAndRegression(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-quick", "-out", baseline}, &out, &errb); code != 0 {
+		t.Fatalf("baseline run exited %d: %s", code, errb.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-quick", "-compare", baseline}, &out, &errb); code != 0 {
+		t.Fatalf("self-compare exited %d:\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "match") {
+		t.Fatalf("self-compare did not report a match:\n%s", out.String())
+	}
+
+	// Inject a regression into one metric of the baseline.
+	raw, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	var victim string
+	for name := range rep.Deterministic {
+		victim = name
+		break
+	}
+	rep.Deterministic[victim]["user_ops"] += 12345
+	doctored, _ := json.Marshal(rep)
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, doctored, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	code := run([]string{"-quick", "-compare", bad}, &out, &errb)
+	if code == 0 {
+		t.Fatalf("compare against doctored baseline exited 0:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "user_ops") {
+		t.Fatalf("regression report missing metric name:\n%s", out.String())
+	}
+
+	// A generous tolerance must absorb the injected drift.
+	out.Reset()
+	if code := run([]string{"-quick", "-compare", bad, "-tolerance", "100"}, &out, &errb); code != 0 {
+		t.Fatalf("compare with 100%% tolerance exited %d:\n%s", code, out.String())
+	}
+}
+
+// TestCompareSuiteMismatch ensures a full-suite report cannot silently
+// pass against a quick baseline.
+func TestCompareSuiteMismatch(t *testing.T) {
+	old := report{Schema: schemaVersion, Suite: "quick",
+		Deterministic: map[string]map[string]uint64{}}
+	cur := report{Schema: schemaVersion, Suite: "full",
+		Deterministic: map[string]map[string]uint64{}}
+	if problems := compare(old, cur, 0); len(problems) == 0 {
+		t.Fatal("suite mismatch not reported")
+	}
+}

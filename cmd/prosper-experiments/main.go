@@ -114,6 +114,7 @@ func main() {
 		{"ablation", true, func() *stats.Table { _, tb := experiments.Ablation(scale); return tb }},
 		{"tracking", true, func() *stats.Table { _, tb := experiments.TrackingCost(scale); return tb }},
 		{"adaptive", true, func() *stats.Table { _, tb := experiments.Adaptive(scale); return tb }},
+		{"pause", true, func() *stats.Table { _, tb := experiments.PauseBreakdown(scale); return tb }},
 		{"ctxswitch", false, func() *stats.Table { _, tb := experiments.ContextSwitch(scale); return tb }},
 		{"energy", false, func() *stats.Table { _, tb := experiments.Energy(scale); return tb }},
 	}

@@ -59,6 +59,7 @@ type line struct {
 
 type mshr struct {
 	waiters []waiter
+	issued  sim.Time // when the line fetch left this level
 }
 
 type waiter struct {
@@ -85,7 +86,22 @@ type Cache struct {
 	mshrs   map[uint64]*mshr
 	blocked []deferredAccess // accesses stalled on MSHR exhaustion
 
-	Counters *stats.Counters
+	Counters   *stats.Counters
+	Histograms *stats.Histograms
+
+	// Precomputed counter handles: Access/access/miss run once per
+	// memory reference, so composing "<name>.hits" there allocates on
+	// every access. The handles pin each slot at construction instead.
+	cHits          stats.Counter
+	cMisses        stats.Counter
+	cReadAccesses  stats.Counter
+	cWriteAccesses stats.Counter
+	cCoalesced     stats.Counter
+	cMSHRStalls    stats.Counter
+	cWritebacks    stats.Counter
+
+	hMissLatency *stats.Histogram // line-fetch latency, issue to fill
+	hMSHROcc     *stats.Histogram // MSHRs in use after each allocation
 }
 
 // New builds a cache level in front of next.
@@ -100,15 +116,26 @@ func New(eng *sim.Engine, cfg Config, next Port) *Cache {
 	for i := range sets {
 		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
 	}
-	return &Cache{
-		eng:      eng,
-		cfg:      cfg,
-		next:     next,
-		sets:     sets,
-		setMask:  uint64(numSets - 1),
-		mshrs:    make(map[uint64]*mshr),
-		Counters: stats.NewCounters(),
+	c := &Cache{
+		eng:        eng,
+		cfg:        cfg,
+		next:       next,
+		sets:       sets,
+		setMask:    uint64(numSets - 1),
+		mshrs:      make(map[uint64]*mshr),
+		Counters:   stats.NewCounters(),
+		Histograms: stats.NewHistograms(),
 	}
+	c.cHits = c.Counters.Handle(cfg.Name + ".hits")
+	c.cMisses = c.Counters.Handle(cfg.Name + ".misses")
+	c.cReadAccesses = c.Counters.Handle(cfg.Name + ".read_accesses")
+	c.cWriteAccesses = c.Counters.Handle(cfg.Name + ".write_accesses")
+	c.cCoalesced = c.Counters.Handle(cfg.Name + ".mshr_coalesced")
+	c.cMSHRStalls = c.Counters.Handle(cfg.Name + ".mshr_stalls")
+	c.cWritebacks = c.Counters.Handle(cfg.Name + ".writebacks")
+	c.hMissLatency = c.Histograms.New("miss_latency")
+	c.hMSHROcc = c.Histograms.New("mshr_occupancy")
+	return c
 }
 
 // Name returns the level's configured name.
@@ -132,9 +159,9 @@ func (c *Cache) lookup(lineAddr uint64) *line {
 // aligned internally; callers may pass arbitrary byte addresses.
 func (c *Cache) Access(write bool, addr uint64, done func()) {
 	if write {
-		c.Counters.Inc(c.cfg.Name + ".write_accesses")
+		c.cWriteAccesses.Inc()
 	} else {
-		c.Counters.Inc(c.cfg.Name + ".read_accesses")
+		c.cReadAccesses.Inc()
 	}
 	c.access(write, mem.LineOf(addr), done)
 }
@@ -144,7 +171,7 @@ func (c *Cache) Access(write bool, addr uint64, done func()) {
 // as a hit or a miss.
 func (c *Cache) access(write bool, lineAddr uint64, done func()) {
 	if ln := c.lookup(lineAddr); ln != nil {
-		c.Counters.Inc(c.cfg.Name + ".hits")
+		c.cHits.Inc()
 		c.lruClock++
 		ln.lru = c.lruClock
 		if write {
@@ -161,20 +188,21 @@ func (c *Cache) access(write bool, lineAddr uint64, done func()) {
 func (c *Cache) miss(write bool, lineAddr uint64, done func()) {
 	if m, ok := c.mshrs[lineAddr]; ok {
 		// Coalesce with the in-flight fetch of the same line.
-		c.Counters.Inc(c.cfg.Name + ".misses")
-		c.Counters.Inc(c.cfg.Name + ".mshr_coalesced")
+		c.cMisses.Inc()
+		c.cCoalesced.Inc()
 		m.waiters = append(m.waiters, waiter{write: write, done: done})
 		return
 	}
 	if len(c.mshrs) >= c.cfg.MSHRs {
 		// Not yet a hit or a miss: the retry will classify it.
-		c.Counters.Inc(c.cfg.Name + ".mshr_stalls")
+		c.cMSHRStalls.Inc()
 		c.blocked = append(c.blocked, deferredAccess{write: write, addr: lineAddr, done: done})
 		return
 	}
-	c.Counters.Inc(c.cfg.Name + ".misses")
-	m := &mshr{waiters: []waiter{{write: write, done: done}}}
+	c.cMisses.Inc()
+	m := &mshr{waiters: []waiter{{write: write, done: done}}, issued: c.eng.Now()}
 	c.mshrs[lineAddr] = m
+	c.hMSHROcc.Observe(uint64(len(c.mshrs)))
 	// Fetch the line from the level below after paying the lookup latency.
 	c.eng.Schedule(c.cfg.Latency, func() {
 		c.next.Access(false, lineAddr, func() { c.fill(lineAddr) })
@@ -184,10 +212,11 @@ func (c *Cache) miss(write bool, lineAddr uint64, done func()) {
 func (c *Cache) fill(lineAddr uint64) {
 	m := c.mshrs[lineAddr]
 	delete(c.mshrs, lineAddr)
+	c.hMissLatency.Observe(uint64(c.eng.Now() - m.issued))
 
 	victim := c.victimFor(lineAddr)
 	if victim.valid && victim.dirty {
-		c.Counters.Inc(c.cfg.Name + ".writebacks")
+		c.cWritebacks.Inc()
 		// Posted writeback: lower level absorbs it asynchronously.
 		c.next.Access(true, victim.tag, nil)
 	}
@@ -247,7 +276,7 @@ func (c *Cache) Flush() {
 		for wi := range c.sets[si] {
 			ln := &c.sets[si][wi]
 			if ln.valid && ln.dirty {
-				c.Counters.Inc(c.cfg.Name + ".writebacks")
+				c.cWritebacks.Inc()
 				c.next.Access(true, ln.tag, nil)
 			}
 			ln.valid = false

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"prosper/internal/persist"
 	"prosper/internal/sim"
 )
 
@@ -393,6 +394,52 @@ func TestTable1Rendered(t *testing.T) {
 	for _, want := range []string{"prosper", "dirtybit", "stack in DRAM"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPauseBreakdownShape checks the stall-attribution table: every
+// mechanism records epochs whose per-cause cycles sum exactly to the
+// measured pause, and each mechanism's dominant cause matches its design
+// (Prosper far below page-granularity Dirtybit; only Prosper charges
+// tracker-flush time).
+func TestPauseBreakdownShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	rows, tb := PauseBreakdown(perfScale())
+	if len(rows) == 0 || tb.NumRows() != len(rows) {
+		t.Fatalf("no pause rows (table has %d)", tb.NumRows())
+	}
+	byMech := map[string]PauseRow{}
+	for _, r := range rows {
+		byMech[r.Mechanism] = r
+		// Romulus replays its whole store log per epoch; at this
+		// compressed scale its first epoch can outlast the window.
+		if r.Pauses == 0 && r.Mechanism != "romulus" {
+			t.Errorf("%s: no epochs measured", r.Mechanism)
+		}
+		var sum uint64
+		for _, v := range r.Causes {
+			sum += v
+		}
+		if sum != r.Total {
+			t.Errorf("%s: causes sum %d != pause_cycles %d", r.Mechanism, sum, r.Total)
+		}
+	}
+	if p, d := byMech["prosper"], byMech["dirtybit"]; p.Pauses > 0 && d.Pauses > 0 {
+		if p.Total/p.Pauses >= d.Total/d.Pauses {
+			t.Errorf("prosper mean pause (%d) should be below dirtybit's (%d)",
+				p.Total/p.Pauses, d.Total/d.Pauses)
+		}
+	}
+	for name, r := range byMech {
+		flush := r.Causes[persist.CauseTrackerFlush]
+		if name == "prosper" && flush == 0 {
+			t.Error("prosper charged no tracker-flush cycles")
+		}
+		if name != "prosper" && flush != 0 {
+			t.Errorf("%s charged tracker-flush cycles (%d)", name, flush)
 		}
 	}
 }

@@ -21,6 +21,10 @@ func (k *Kernel) checkpointProcess(p *Process, done func()) {
 	}
 	p.checkpointing = true
 	start := k.Eng.Now()
+	// Open the stall-attribution epoch: from here to commit completion,
+	// every cycle is charged to exactly one cause, starting with the
+	// quiesce of all threads (mechanisms refine the cause as they run).
+	p.attrib.Begin(persist.CauseQuiesce)
 	epoch := k.Trace.Begin(p.traceTrack, "checkpoint")
 	quiesce := k.Trace.Begin(p.traceTrack, "quiesce")
 
@@ -49,10 +53,14 @@ func (k *Kernel) checkpointPaused(p *Process, start int64, epoch telemetry.Span,
 	var ckptBytes uint64
 	var stackBytes uint64
 	var nextStack func()
+	// Quiesce is over; the register save and stack copies start now.
+	// Mechanisms immediately refine the cause inside their Checkpoint.
+	p.attrib.Switch(persist.CauseCopy)
 	stacks := k.Trace.Begin(p.traceTrack, "persist-stacks")
 	finish := func() {
 		// Phase 4: commit the checkpoint by bumping the sequence number
 		// in the header (a single NVM line write is the commit point).
+		p.attrib.Switch(persist.CauseCommitFence)
 		commit := k.Trace.Begin(p.traceTrack, "commit")
 		p.ckptSeq++
 		seqBuf := make([]byte, 8)
@@ -60,6 +68,17 @@ func (k *Kernel) checkpointPaused(p *Process, start int64, epoch telemetry.Span,
 		k.Mach.WritePhys(p.headerAddr, seqBuf, func() {
 			commit.End(telemetry.U("seq", p.ckptSeq))
 			elapsed := k.Eng.Now() - start
+			causes := p.attrib.End()
+			p.EpochPauses = append(p.EpochPauses, EpochPause{
+				Seq: p.ckptSeq, Pause: elapsed, Causes: causes,
+			})
+			p.PauseHist.Observe(uint64(elapsed))
+			if k.Trace.Enabled() {
+				for c, v := range causes {
+					k.Trace.Counter(p.traceTrack, "pause."+persist.Cause(c).String(),
+						"cycles", int64(v))
+				}
+			}
 			p.CheckpointCount++
 			p.CheckpointBytes += ckptBytes
 			p.CheckpointTime += elapsed

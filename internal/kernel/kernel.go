@@ -120,20 +120,29 @@ func (k *Kernel) buildMetrics() {
 	r.Register("kernel", k.Counters)
 	for i, cs := range k.cores {
 		r.Register(fmt.Sprintf("core%d", i), cs.core.Counters)
-		r.Register(fmt.Sprintf("core%d.tlb", i), cs.core.TLB.Counters)
+		// TLB counter keys are fully qualified ("core0.tlb.hits"), so the
+		// group carries no prefix of its own.
+		r.Register("", cs.core.TLB.Counters)
+		r.RegisterHistograms(fmt.Sprintf("core%d.tlb", i), cs.core.TLB.Histograms)
 	}
 	for i, c := range m.Hier.L1D {
 		r.Register(fmt.Sprintf("l1d%d", i), c.Counters)
+		r.RegisterHistograms(fmt.Sprintf("l1d%d", i), c.Histograms)
 	}
 	for i, c := range m.Hier.L2 {
 		r.Register(fmt.Sprintf("l2_%d", i), c.Counters)
+		r.RegisterHistograms(fmt.Sprintf("l2_%d", i), c.Histograms)
 	}
 	r.Register("l3", m.Hier.L3.Counters)
+	r.RegisterHistograms("l3", m.Hier.L3.Histograms)
 	r.Register("dram", m.Ctl.DRAM.Counters)
+	r.RegisterHistograms("dram", m.Ctl.DRAM.Histograms)
 	r.Register("nvm", m.Ctl.NVM.Counters)
+	r.RegisterHistograms("nvm", m.Ctl.NVM.Histograms)
 	r.Register("machine", m.Counters)
 	for i, tr := range k.Trackers {
 		r.Register(fmt.Sprintf("tracker%d", i), tr.Counters)
+		r.RegisterHistograms(fmt.Sprintf("tracker%d", i), tr.Histograms)
 	}
 	k.Metrics = r
 }
@@ -194,7 +203,7 @@ func (k *Kernel) startTelemetry() {
 
 // env builds the mechanism environment for a process.
 func (k *Kernel) env(p *Process) *persist.Env {
-	return &persist.Env{Mach: k.Mach, AS: p.AS, Trackers: k.Trackers}
+	return &persist.Env{Mach: k.Mach, AS: p.AS, Trackers: k.Trackers, Attrib: p.attrib}
 }
 
 // timerTick preempts the core's current thread at its next op boundary.

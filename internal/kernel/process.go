@@ -128,6 +128,16 @@ func (t *Thread) CkptEpoch() uint64 { return t.ckptEpoch }
 // the SP-awareness analyses read it).
 func (t *Thread) SP() uint64 { return t.sp }
 
+// EpochPause is one checkpoint epoch's pause decomposition: the measured
+// stop-the-world pause and its per-cause cycle attribution. The causes
+// sum exactly to Pause — the attribution register charges every cycle
+// between quiesce start and commit completion to exactly one cause.
+type EpochPause struct {
+	Seq    uint64
+	Pause  sim.Time
+	Causes [persist.NumCauses]uint64
+}
+
 // Process is a persistent-capable process.
 type Process struct {
 	PID  int
@@ -161,6 +171,14 @@ type Process struct {
 	StackCkptBytes  uint64
 	StackCkptTime   sim.Time
 
+	// attrib is the stall-attribution register charged by the kernel's
+	// checkpoint engine and the persistence mechanisms between epoch
+	// quiesce and commit; EpochPauses records one entry per completed
+	// checkpoint and PauseHist the pause distribution.
+	attrib      *persist.Attrib
+	EpochPauses []EpochPause
+	PauseHist   *stats.Histogram
+
 	Counters *stats.Counters
 }
 
@@ -172,12 +190,14 @@ func (k *Kernel) Spawn(cfg ProcessConfig, progs ...workload.Program) *Process {
 		panic("kernel: Spawn needs at least one program")
 	}
 	p := &Process{
-		PID:      k.nextPID,
-		Name:     cfg.Name,
-		Cfg:      cfg,
-		AS:       vm.NewAddressSpace(k.Mach.DRAMFrames, k.Mach.NVMFrames),
-		kern:     k,
-		Counters: stats.NewCounters(),
+		PID:       k.nextPID,
+		Name:      cfg.Name,
+		Cfg:       cfg,
+		AS:        vm.NewAddressSpace(k.Mach.DRAMFrames, k.Mach.NVMFrames),
+		kern:      k,
+		attrib:    persist.NewAttrib(k.Eng),
+		PauseHist: stats.NewHistogram(),
+		Counters:  stats.NewCounters(),
 	}
 	k.nextPID++
 	if p.Name == "" {
@@ -276,7 +296,8 @@ func (p *Process) newThread(i int, prog workload.Program) *Thread {
 // registerProcMetrics adopts the process's counters and scalar
 // checkpoint/thread statistics into the kernel's metrics registry under
 // "proc.<name>", in the order DumpStats prints them: sorted counter
-// names, then the checkpoint scalars, then per-thread user accounting.
+// names, then the checkpoint scalars, then per-thread user accounting,
+// then the pause distribution and its per-cause stall attribution.
 func (k *Kernel) registerProcMetrics(p *Process) {
 	k.Metrics.RegisterFunc("proc."+p.Name, func(emit func(name string, v uint64)) {
 		names := p.Counters.Names()
@@ -290,6 +311,21 @@ func (k *Kernel) registerProcMetrics(p *Process) {
 		for _, t := range p.Threads {
 			emit(fmt.Sprintf("thread%d.user_ops", t.TID), t.UserOps)
 			emit(fmt.Sprintf("thread%d.user_cycles", t.TID), t.UserCycles)
+		}
+		emit("pause.count", p.PauseHist.Count())
+		emit("pause.cycles", p.PauseHist.Sum())
+		emit("pause.max", p.PauseHist.Max())
+		emit("pause.p50", p.PauseHist.Quantile(0.50))
+		emit("pause.p95", p.PauseHist.Quantile(0.95))
+		emit("pause.p99", p.PauseHist.Quantile(0.99))
+		var causes [persist.NumCauses]uint64
+		for _, ep := range p.EpochPauses {
+			for c, v := range ep.Causes {
+				causes[c] += v
+			}
+		}
+		for c, v := range causes {
+			emit("pause."+persist.Cause(c).String(), v)
 		}
 	})
 }

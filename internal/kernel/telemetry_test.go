@@ -212,16 +212,36 @@ func TestDumpStatsGoldenOrder(t *testing.T) {
 		last = idx
 	}
 
-	// Within a section, names are sorted.
-	var prev string
+	// Within a section, counter names are sorted, and the histogram
+	// subsection follows as sorted histogram names expanded with the
+	// fixed scalar-suffix order.
+	var nvmNames []string
 	for _, line := range strings.Split(out, "\n") {
-		if !strings.HasPrefix(line, "nvm.") {
-			continue
+		if strings.HasPrefix(line, "nvm.") {
+			nvmNames = append(nvmNames, strings.Fields(line)[0])
 		}
-		name := strings.Fields(line)[0]
+	}
+	var wantHist []string
+	for _, h := range []string{"bank_wait", "read_latency", "read_wait", "write_latency", "write_wait"} {
+		for _, s := range []string{"count", "sum", "min", "max", "p50", "p95", "p99"} {
+			wantHist = append(wantHist, "nvm."+h+"."+s)
+		}
+	}
+	if len(nvmNames) <= len(wantHist) {
+		t.Fatalf("nvm section too short: %d lines", len(nvmNames))
+	}
+	counters := nvmNames[:len(nvmNames)-len(wantHist)]
+	hists := nvmNames[len(nvmNames)-len(wantHist):]
+	var prev string
+	for _, name := range counters {
 		if prev != "" && name < prev {
-			t.Fatalf("nvm section not sorted: %q after %q", name, prev)
+			t.Fatalf("nvm counters not sorted: %q after %q", name, prev)
 		}
 		prev = name
+	}
+	for i, name := range hists {
+		if name != wantHist[i] {
+			t.Fatalf("nvm histogram line %d: got %q, want %q", i, name, wantHist[i])
+		}
 	}
 }

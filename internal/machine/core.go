@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"fmt"
+
 	"prosper/internal/cache"
 	"prosper/internal/mem"
 	"prosper/internal/sim"
@@ -56,7 +58,7 @@ func newCore(m *Machine, id int) *Core {
 		ID:           id,
 		mach:         m,
 		eng:          m.Eng,
-		TLB:          vm.NewTLB(m.Cfg.TLBEntries),
+		TLB:          vm.NewTLB(fmt.Sprintf("core%d.tlb", id), m.Cfg.TLBEntries),
 		l1:           m.Hier.L1D[id],
 		l2:           m.Hier.L2[id],
 		storeCredits: m.Cfg.StoreBuffer,
@@ -130,14 +132,17 @@ func (c *Core) translate(vaddr uint64, write bool, k func(paddr uint64)) {
 	})
 }
 
-// walk issues the dependent chain of page-table reads through L2.
+// walk issues the dependent chain of page-table reads through L2 and
+// records the end-to-end walk latency into the TLB's distribution.
 func (c *Core) walk(vaddr uint64, done func()) {
 	c.Counters.Inc("core.page_walks")
 	addrs := c.AS.PT.WalkAddrs(vaddr)
+	began := c.eng.Now()
 	i := 0
 	var step func()
 	step = func() {
 		if i >= len(addrs) {
+			c.TLB.WalkLatency.Observe(uint64(c.eng.Now() - began))
 			done()
 			return
 		}

@@ -64,9 +64,10 @@ func PCMConfig() DeviceConfig {
 }
 
 type pendingAccess struct {
-	write bool
-	addr  uint64
-	done  func()
+	write   bool
+	addr    uint64
+	done    func()
+	arrived sim.Time // when the request reached the device (Access time)
 }
 
 // PersistSink observes a device's write stream so a persistence domain
@@ -95,7 +96,23 @@ type Device struct {
 	waiting        []pendingAccess
 	sink           PersistSink
 
-	Counters *stats.Counters
+	Counters   *stats.Counters
+	Histograms *stats.Histograms
+
+	// Precomputed counter handles for the per-access hot path.
+	cReads        stats.Counter
+	cWrites       stats.Counter
+	cBufferStalls stats.Counter
+
+	// Latency distributions, all in cycles per access:
+	//   read_wait/write_wait   arrival to service start (queueing)
+	//   bank_wait              the bank-conflict share of that wait
+	//   read_latency/...       arrival to completion (wait + service)
+	hReadWait     *stats.Histogram
+	hWriteWait    *stats.Histogram
+	hBankWait     *stats.Histogram
+	hReadLatency  *stats.Histogram
+	hWriteLatency *stats.Histogram
 }
 
 // NewDevice builds a device timing model on the given engine.
@@ -103,12 +120,22 @@ func NewDevice(eng *sim.Engine, cfg DeviceConfig) *Device {
 	if cfg.Banks <= 0 {
 		cfg.Banks = 1
 	}
-	return &Device{
+	d := &Device{
 		eng:        eng,
 		cfg:        cfg,
 		bankFreeAt: make([]sim.Time, cfg.Banks),
 		Counters:   stats.NewCounters(),
+		Histograms: stats.NewHistograms(),
 	}
+	d.cReads = d.Counters.Handle(cfg.Name + ".reads")
+	d.cWrites = d.Counters.Handle(cfg.Name + ".writes")
+	d.cBufferStalls = d.Counters.Handle(cfg.Name + ".buffer_stalls")
+	d.hReadWait = d.Histograms.New("read_wait")
+	d.hWriteWait = d.Histograms.New("write_wait")
+	d.hBankWait = d.Histograms.New("bank_wait")
+	d.hReadLatency = d.Histograms.New("read_latency")
+	d.hWriteLatency = d.Histograms.New("write_latency")
+	return d
 }
 
 // Name returns the configured device name.
@@ -121,12 +148,13 @@ func (d *Device) SetPersistSink(s PersistSink) { d.sink = s }
 // Access requests one line-sized access at addr; done fires when the
 // device completes it. Writes may be delayed by write-buffer backpressure.
 func (d *Device) Access(write bool, addr uint64, done func()) {
+	p := pendingAccess{write: write, addr: addr, done: done, arrived: d.eng.Now()}
 	if d.admissible(write) {
-		d.start(pendingAccess{write: write, addr: addr, done: done})
+		d.start(p)
 		return
 	}
-	d.Counters.Inc(d.cfg.Name + ".buffer_stalls")
-	d.waiting = append(d.waiting, pendingAccess{write: write, addr: addr, done: done})
+	d.cBufferStalls.Inc()
+	d.waiting = append(d.waiting, p)
 }
 
 func (d *Device) admissible(write bool) bool {
@@ -138,10 +166,12 @@ func (d *Device) admissible(write bool) bool {
 
 func (d *Device) start(p pendingAccess) {
 	bank := int((p.addr >> LineShift) % uint64(d.cfg.Banks))
-	start := d.eng.Now()
+	now := d.eng.Now()
+	start := now
 	if d.bankFreeAt[bank] > start {
 		start = d.bankFreeAt[bank]
 	}
+	d.hBankWait.Observe(uint64(start - now))
 	if d.busFreeAt > start {
 		start = d.busFreeAt
 	}
@@ -149,18 +179,25 @@ func (d *Device) start(p pendingAccess) {
 	if p.write {
 		occupancy, latency = d.cfg.BankBusyWrite, d.cfg.WriteLatency
 		d.inflightWrites++
-		d.Counters.Inc(d.cfg.Name + ".writes")
+		d.cWrites.Inc()
+		d.hWriteWait.Observe(uint64(start - p.arrived))
 		if d.sink != nil {
 			d.sink.WriteAdmitted(p.addr)
 		}
 	} else {
 		occupancy, latency = d.cfg.BankBusyRead, d.cfg.ReadLatency
 		d.inflightReads++
-		d.Counters.Inc(d.cfg.Name + ".reads")
+		d.cReads.Inc()
+		d.hReadWait.Observe(uint64(start - p.arrived))
 	}
 	d.bankFreeAt[bank] = start + occupancy
 	d.busFreeAt = start + d.cfg.BusPerAccess
 	finish := start + latency
+	if p.write {
+		d.hWriteLatency.Observe(uint64(finish - p.arrived))
+	} else {
+		d.hReadLatency.Observe(uint64(finish - p.arrived))
+	}
 	write := p.write
 	addr := p.addr
 	done := p.done

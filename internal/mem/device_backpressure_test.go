@@ -124,3 +124,41 @@ func TestBackpressureDrainOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestDeviceLatencyHistograms checks the wait/service distributions: an
+// uncontended access waits zero cycles and completes in the configured
+// latency; a bank-conflicting access records its queueing wait.
+func TestDeviceLatencyHistograms(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDevice(eng, DeviceConfig{
+		Name: "dev", ReadLatency: 100, WriteLatency: 200,
+		Banks: 2, BankBusyRead: 80, BankBusyWrite: 80,
+	})
+	// Two reads to the same bank: the second waits out the bank busy time.
+	d.Access(false, 0, nil)
+	d.Access(false, uint64(2*LineSize), nil) // same bank (banks=2)
+	eng.Run()
+
+	rw := d.Histograms.Get("read_wait")
+	if rw.Count() != 2 || rw.Min() != 0 || rw.Max() != 80 {
+		t.Fatalf("read_wait count/min/max = %d/%d/%d, want 2/0/80",
+			rw.Count(), rw.Min(), rw.Max())
+	}
+	bw := d.Histograms.Get("bank_wait")
+	if bw.Count() != 2 || bw.Max() != 80 {
+		t.Fatalf("bank_wait count/max = %d/%d, want 2/80", bw.Count(), bw.Max())
+	}
+	rl := d.Histograms.Get("read_latency")
+	if rl.Min() != 100 || rl.Max() != 180 {
+		t.Fatalf("read_latency min/max = %d/%d, want 100/180", rl.Min(), rl.Max())
+	}
+	d.Access(true, uint64(LineSize), nil) // other bank, uncontended write
+	eng.Run()
+	wl := d.Histograms.Get("write_latency")
+	if wl.Count() != 1 || wl.Min() != 200 {
+		t.Fatalf("write_latency count/min = %d/%d, want 1/200", wl.Count(), wl.Min())
+	}
+	if d.Histograms.Get("write_wait").Max() != 0 {
+		t.Fatalf("uncontended write must record zero wait")
+	}
+}

@@ -65,6 +65,7 @@ func (d *Dirtybit) BeginInterval() {
 // Checkpoint implements Mechanism: walk the segment's PTEs, copy dirty
 // pages, clear for the next interval.
 func (d *Dirtybit) Checkpoint(done func(Result)) {
+	d.env.Attrib.Switch(CauseInspectClear)
 	var extents []extent
 	var scanned uint64
 	d.env.AS.PT.VisitRange(d.seg.Lo, d.seg.Hi, func(va uint64, pte *vm.PTE) {

@@ -30,6 +30,11 @@ type Env struct {
 	// Trackers are the per-core Prosper dirty trackers (nil when the
 	// machine is built without them).
 	Trackers []*prosper.Tracker
+	// Attrib, when non-nil, is the owning process's checkpoint-stall
+	// attribution register. Mechanisms switch the active cause as their
+	// checkpoint phases progress; outside a kernel-opened epoch every
+	// switch is a no-op.
+	Attrib *Attrib
 }
 
 // Eng returns the simulation engine.
@@ -195,10 +200,13 @@ func (b *base) persistExtents(extents []extent, done func(Result)) {
 	b.seq++
 	seq := b.seq
 	m := b.env.Mach
+	attrib := b.env.Attrib
+	attrib.Switch(CauseCopy)
 
 	if len(extents) == 0 {
 		// Nothing dirty: still write a commit record so recovery can see
 		// the checkpoint happened.
+		attrib.Switch(CauseCommitFence)
 		hdr := b.makeHeader(phaseApplied, seq, 0, 0)
 		m.WritePhys(b.seg.MetaBase, hdr, func() { done(res) })
 		return
@@ -249,6 +257,7 @@ func (b *base) persistExtents(extents []extent, done func(Result)) {
 	// Step 1c: commit record (temp valid). The low-water mark must be
 	// updated before the header snapshot reads it back.
 	commitRecord := func() {
+		attrib.Switch(CauseCommitFence)
 		minOff := extents[0].off
 		for _, e := range extents {
 			if e.off < minOff {
@@ -265,13 +274,23 @@ func (b *base) persistExtents(extents []extent, done func(Result)) {
 			b.applyAsync(seq, uint64(len(extents)), total, dataBase, extents)
 		})
 	}
-	pending := 3 // source reads + blob write + entry table write
+	pending := 3    // source reads + blob write + entry table write
+	gatherLeft := 2 // source reads + entry table write (the copy phase)
 	commit := func() {
 		pending--
 		if pending != 0 {
 			return
 		}
 		commitRecord()
+	}
+	gatherCommit := func() {
+		gatherLeft--
+		if gatherLeft == 0 && pending > 1 {
+			// Gather finished but the temp-blob NVM burst is still
+			// draining: the critical path is now the write queue.
+			attrib.Switch(CauseNVMDrain)
+		}
+		commit()
 	}
 	if b.brokenFence {
 		// Broken on purpose: the commit record is issued BEFORE the
@@ -286,8 +305,8 @@ func (b *base) persistExtents(extents []extent, done func(Result)) {
 	}
 	// Timed traffic for the gather: scattered DRAM reads of the sources
 	// (pipelined) and a contiguous NVM write of the blob.
-	readPhysLines(m, srcLines, commit)
-	m.WritePhys(b.seg.MetaBase+metaEntries, table, commit)
+	readPhysLines(m, srcLines, gatherCommit)
+	m.WritePhys(b.seg.MetaBase+metaEntries, table, gatherCommit)
 	if !b.brokenFence {
 		// The functional blob is already in place; issue the timed burst.
 		writePhysRange(m, dataBase, total, commit)

@@ -153,12 +153,16 @@ func (p *Prosper) OnScheduleOut(core *machine.Core, done func()) {
 		p.env.Eng().Schedule(0, done)
 		return
 	}
+	// Inside a checkpoint epoch the table flush is its own pause cause;
+	// outside one (ordinary context switch) the switches are no-ops.
+	p.env.Attrib.Switch(CauseTrackerFlush)
 	tr.FlushAndWait(func() {
 		p.state = tr.SaveState()
 		tr.Disable()
 		p.cur = nil
 		p.curCore = -1
 		p.Counters.Inc("prosper.schedule_out")
+		p.env.Attrib.Switch(CauseQuiesce)
 		p.env.Eng().Schedule(msrWriteCost, done)
 	})
 }
@@ -176,6 +180,7 @@ func (p *Prosper) BeginInterval() {
 // Checkpoint implements Mechanism. The kernel calls it after
 // OnScheduleOut, so the tracker state is saved and the bitmap quiescent.
 func (p *Prosper) Checkpoint(done func(Result)) {
+	p.env.Attrib.Switch(CauseInspectClear)
 	msrs := p.state.MSRs
 	winLo, winHi, any := p.state.TouchedLo, p.state.TouchedHi, p.state.AnyTouched
 	res := prosper.Inspect(p.env.Mach.Storage, msrs, winLo, winHi, any)

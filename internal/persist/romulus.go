@@ -75,6 +75,8 @@ func (r *Romulus) BeginInterval() {}
 // addresses. The window of in-flight copies is small, like a software
 // copy loop.
 func (r *Romulus) Checkpoint(done func(Result)) {
+	// Log replay main -> backup is pure payload copy.
+	r.env.Attrib.Switch(CauseCopy)
 	entries := r.logEntries
 	r.logEntries = r.logEntries[:0]
 	r.logBytes = 0

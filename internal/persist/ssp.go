@@ -182,6 +182,9 @@ func (s *SSP) BeginInterval() {}
 // extended-TLB bitmaps to the SSP cache, and apply them onto the commit
 // bitmap in NVM (one line write per touched page's bitmap entry).
 func (s *SSP) Checkpoint(done func(Result)) {
+	// The pause is dominated by the clwb sweep and commit-bitmap writes
+	// draining through the NVM write buffers.
+	s.env.Attrib.Switch(CauseNVMDrain)
 	var res Result
 	m := s.env.Mach
 	type pageWork struct {
@@ -249,6 +252,7 @@ func (s *SSP) Checkpoint(done func(Result)) {
 // tiny metadata update promoted across the persistence domain when the
 // interval's last writeback has already completed.
 func (s *SSP) commitEpoch() {
+	s.env.Attrib.Switch(CauseCommitFence)
 	s.seq++
 	st := s.env.Mach.Storage
 	st.WriteU64(s.seg.MetaBase+metaPhase, phaseApplied)

@@ -113,7 +113,16 @@ type Tracker struct {
 	touchedLo, touchedHi uint64
 	anyTouched           bool
 
-	Counters *stats.Counters
+	Counters   *stats.Counters
+	Histograms *stats.Histograms
+
+	// Precomputed handles for the per-store hot path.
+	cSOIs         stats.Counter
+	cBitmapLoads  stats.Counter
+	cBitmapStores stats.Counter
+
+	hFlushEntries *stats.Histogram // live table entries at each Flush
+	hFlushWait    *stats.Histogram // FlushAndWait call to quiescence, cycles
 
 	// Trace, when enabled, receives flush / HWM-writeback / eviction
 	// instant events on TraceTrack; the kernel wires both at boot. A nil
@@ -125,15 +134,22 @@ type Tracker struct {
 // New builds a tracker injecting bitmap traffic into port.
 func New(eng *sim.Engine, port cache.Port, storage *mem.Storage, cfg Config) *Tracker {
 	cfg = cfg.withDefaults()
-	return &Tracker{
-		eng:      eng,
-		port:     port,
-		storage:  storage,
-		cfg:      cfg,
-		rng:      sim.NewRand(cfg.Seed),
-		table:    make([]entry, cfg.TableSize),
-		Counters: stats.NewCounters(),
+	t := &Tracker{
+		eng:        eng,
+		port:       port,
+		storage:    storage,
+		cfg:        cfg,
+		rng:        sim.NewRand(cfg.Seed),
+		table:      make([]entry, cfg.TableSize),
+		Counters:   stats.NewCounters(),
+		Histograms: stats.NewHistograms(),
 	}
+	t.cSOIs = t.Counters.Handle("prosper.sois")
+	t.cBitmapLoads = t.Counters.Handle("prosper.bitmap_loads")
+	t.cBitmapStores = t.Counters.Handle("prosper.bitmap_stores")
+	t.hFlushEntries = t.Histograms.New("flush_entries")
+	t.hFlushWait = t.Histograms.New("flush_wait")
+	return t
 }
 
 // Configure writes the tracker's MSRs. Granularity must be a positive
@@ -186,7 +202,7 @@ func (t *Tracker) ObserveStore(vaddr uint64, size int) {
 	if vaddr >= t.msrs.StackHi || vaddr+uint64(size) <= t.msrs.StackLo {
 		return
 	}
-	t.Counters.Inc("prosper.sois")
+	t.cSOIs.Inc()
 	lo, hi := vaddr, vaddr+uint64(size)
 	if lo < t.msrs.StackLo {
 		lo = t.msrs.StackLo
@@ -312,13 +328,13 @@ func (t *Tracker) writeback(e *entry) {
 
 func (t *Tracker) issueLoad(wordAddr uint64) {
 	t.outstandingLoads++
-	t.Counters.Inc("prosper.bitmap_loads")
+	t.cBitmapLoads.Inc()
 	t.port.Access(false, wordAddr, func() { t.outstandingLoads-- })
 }
 
 func (t *Tracker) issueStore(wordAddr uint64) {
 	t.outstandingStores++
-	t.Counters.Inc("prosper.bitmap_stores")
+	t.cBitmapStores.Inc()
 	t.port.Access(true, wordAddr, func() { t.outstandingStores-- })
 }
 
@@ -326,6 +342,7 @@ func (t *Tracker) issueStore(wordAddr uint64) {
 // OS must then poll Quiesced before inspecting the bitmap.
 func (t *Tracker) Flush() {
 	t.Counters.Inc("prosper.flushes")
+	t.hFlushEntries.Observe(uint64(t.LiveEntries()))
 	if t.Trace.Enabled() {
 		t.Trace.Instant(t.TraceTrack, "flush", telemetry.I("live_entries", int64(t.LiveEntries())))
 	}
@@ -346,10 +363,12 @@ func (t *Tracker) Quiesced() bool {
 // FlushAndWait flushes and calls done once quiescent, polling every few
 // cycles like the OS loop would.
 func (t *Tracker) FlushAndWait(done func()) {
+	began := t.eng.Now()
 	t.Flush()
 	var poll func()
 	poll = func() {
 		if t.Quiesced() {
+			t.hFlushWait.Observe(uint64(t.eng.Now() - began))
 			done()
 			return
 		}

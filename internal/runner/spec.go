@@ -18,6 +18,7 @@ import (
 	"prosper/internal/persist"
 	"prosper/internal/prosper"
 	"prosper/internal/sim"
+	"prosper/internal/stats"
 	"prosper/internal/telemetry"
 	"prosper/internal/workload"
 )
@@ -138,6 +139,18 @@ type RunStats struct {
 
 	WriteFaults uint64 // write-permission faults (WriteProtect tracking)
 
+	// Checkpoint-pause decomposition over the measured window: the
+	// stop-the-world pause distribution (log2-bucketed quantiles, so the
+	// values are integral and platform-independent) and the per-cause
+	// stall attribution, whose entries sum exactly to PauseTotal.
+	PauseCount  uint64
+	PauseTotal  uint64
+	PauseMax    uint64
+	PauseP50    uint64
+	PauseP95    uint64
+	PauseP99    uint64
+	PauseCauses [persist.NumCauses]uint64
+
 	Elapsed sim.Time // measured window duration (warmup excluded)
 	SimEnd  sim.Time // absolute simulated time when the run finished
 }
@@ -244,6 +257,24 @@ func (sp Spec) Run() RunStats {
 	res.TrackerWritebacks = trEnd.writebacks - trSnap.writebacks
 	res.TrackerUpdates = res.TrackerSOIs // one table update per SOI granule (approx.)
 	res.WriteFaults = uint64(p.AS.WriteFaults()) - wfBase
+	// Pause decomposition: only epochs committed inside the measured
+	// window (sequence numbers past the warmup-end count).
+	pauseHist := stats.NewHistogram()
+	for _, ep := range p.EpochPauses {
+		if ep.Seq <= ckptBase {
+			continue
+		}
+		pauseHist.Observe(uint64(ep.Pause))
+		for c, v := range ep.Causes {
+			res.PauseCauses[c] += v
+		}
+	}
+	res.PauseCount = pauseHist.Count()
+	res.PauseTotal = pauseHist.Sum()
+	res.PauseMax = pauseHist.Max()
+	res.PauseP50 = pauseHist.Quantile(0.50)
+	res.PauseP95 = pauseHist.Quantile(0.95)
+	res.PauseP99 = pauseHist.Quantile(0.99)
 	res.CtxSwitches = k.Counters.Get("kernel.context_switches")
 	res.CtxSwitchIn = k.Counters.Get("kernel.ctxswitch_in_cycles")
 	res.CtxSwitchOut = k.Counters.Get("kernel.ctxswitch_out_cycles")

@@ -11,37 +11,87 @@ import (
 
 // Counters is a named set of monotonically increasing counters. The zero
 // value is not ready; use NewCounters.
+//
+// Each counter lives in its own heap slot, so a Counter handle obtained
+// with Handle stays valid as the set grows. Hot paths should hold a
+// handle instead of calling Add/Inc with a composed name: the handle
+// variants are a single pointer dereference with no map lookup and no
+// string concatenation.
 type Counters struct {
-	values map[string]uint64
+	values map[string]*uint64
 	order  []string
+}
+
+// Counter is a cheap handle to one counter slot inside a Counters set.
+// The zero value is a valid no-op sink, which lets components keep
+// unconditional Inc/Add calls even when metrics are disabled.
+type Counter struct {
+	v *uint64
+}
+
+// Inc increments the counter by one. No-op on the zero handle.
+func (h Counter) Inc() {
+	if h.v != nil {
+		*h.v++
+	}
+}
+
+// Add increments the counter by delta. No-op on the zero handle.
+func (h Counter) Add(delta uint64) {
+	if h.v != nil {
+		*h.v += delta
+	}
+}
+
+// Get returns the current value (zero for the zero handle).
+func (h Counter) Get() uint64 {
+	if h.v == nil {
+		return 0
+	}
+	return *h.v
 }
 
 // NewCounters returns an empty counter set.
 func NewCounters() *Counters {
-	return &Counters{values: make(map[string]uint64)}
+	return &Counters{values: make(map[string]*uint64)}
+}
+
+// slot returns the value cell for name, creating it on first use.
+func (c *Counters) slot(name string) *uint64 {
+	p, ok := c.values[name]
+	if !ok {
+		p = new(uint64)
+		c.values[name] = p
+		c.order = append(c.order, name)
+	}
+	return p
+}
+
+// Handle registers name (if new) and returns a stable handle to its
+// slot. Handles remain valid for the lifetime of the set.
+func (c *Counters) Handle(name string) Counter {
+	if c == nil {
+		return Counter{}
+	}
+	return Counter{v: c.slot(name)}
 }
 
 // Add increments the named counter by delta, creating it on first use.
-func (c *Counters) Add(name string, delta uint64) {
-	if _, ok := c.values[name]; !ok {
-		c.order = append(c.order, name)
-	}
-	c.values[name] += delta
-}
+func (c *Counters) Add(name string, delta uint64) { *c.slot(name) += delta }
 
 // Inc increments the named counter by one.
 func (c *Counters) Inc(name string) { c.Add(name, 1) }
 
 // Get returns the value of the named counter (zero if never touched).
-func (c *Counters) Get(name string) uint64 { return c.values[name] }
+func (c *Counters) Get(name string) uint64 {
+	if p, ok := c.values[name]; ok {
+		return *p
+	}
+	return 0
+}
 
 // Set overwrites the named counter.
-func (c *Counters) Set(name string, v uint64) {
-	if _, ok := c.values[name]; !ok {
-		c.order = append(c.order, name)
-	}
-	c.values[name] = v
-}
+func (c *Counters) Set(name string, v uint64) { *c.slot(name) = v }
 
 // Names returns counter names in first-use order.
 func (c *Counters) Names() []string {
@@ -52,16 +102,16 @@ func (c *Counters) Names() []string {
 
 // Reset zeroes all counters but keeps their registration order.
 func (c *Counters) Reset() {
-	for k := range c.values {
-		c.values[k] = 0
+	for _, p := range c.values {
+		*p = 0
 	}
 }
 
 // Snapshot returns a copy of the current values.
 func (c *Counters) Snapshot() map[string]uint64 {
 	out := make(map[string]uint64, len(c.values))
-	for k, v := range c.values {
-		out[k] = v
+	for k, p := range c.values {
+		out[k] = *p
 	}
 	return out
 }
@@ -70,7 +120,7 @@ func (c *Counters) Snapshot() map[string]uint64 {
 func (c *Counters) String() string {
 	var b strings.Builder
 	for _, name := range c.order {
-		fmt.Fprintf(&b, "%-40s %d\n", name, c.values[name])
+		fmt.Fprintf(&b, "%-40s %d\n", name, *c.values[name])
 	}
 	return b.String()
 }

@@ -25,19 +25,50 @@ type Registry struct {
 type group struct {
 	prefix string
 	c      *stats.Counters
+	h      *stats.Histograms
 	fn     func(emit func(name string, v uint64))
+}
+
+// histoScalars are the summary statistics expanded from every histogram,
+// in the fixed order they are emitted under "<name>.<scalar>". All of
+// them are integers so the serialized output stays byte-deterministic.
+var histoScalars = []struct {
+	suffix string
+	value  func(h *stats.Histogram) uint64
+}{
+	{"count", (*stats.Histogram).Count},
+	{"sum", (*stats.Histogram).Sum},
+	{"min", (*stats.Histogram).Min},
+	{"max", (*stats.Histogram).Max},
+	{"p50", func(h *stats.Histogram) uint64 { return h.Quantile(0.50) }},
+	{"p95", func(h *stats.Histogram) uint64 { return h.Quantile(0.95) }},
+	{"p99", func(h *stats.Histogram) uint64 { return h.Quantile(0.99) }},
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry { return &Registry{} }
 
 // Register adopts a counter set under the prefix; its counters appear as
-// "prefix.<name>" in sorted name order. A nil counter set is ignored.
+// "prefix.<name>" in sorted name order. An empty prefix adopts the
+// counters under their own (already-qualified) names. A nil counter set
+// is ignored.
 func (r *Registry) Register(prefix string, c *stats.Counters) {
 	if c == nil {
 		return
 	}
 	r.groups = append(r.groups, group{prefix: prefix, c: c})
+}
+
+// RegisterHistograms adopts a histogram set under the prefix. Each
+// histogram expands to fixed integer summary scalars —
+// "prefix.<name>.count/sum/min/max/p50/p95/p99" — in sorted histogram
+// name order, so DumpStats and DumpStatsJSON stay byte-deterministic.
+// A nil set is ignored.
+func (r *Registry) RegisterHistograms(prefix string, h *stats.Histograms) {
+	if h == nil {
+		return
+	}
+	r.groups = append(r.groups, group{prefix: prefix, h: h})
 }
 
 // RegisterFunc adopts a computed group: fn is invoked at read time and
@@ -55,16 +86,29 @@ func (r *Registry) RegisterFunc(prefix string, fn func(emit func(name string, v 
 // registry's stable order.
 func (r *Registry) Each(emit func(name string, v uint64)) {
 	for _, g := range r.groups {
-		prefix := g.prefix + "."
-		if g.c != nil {
+		prefix := ""
+		if g.prefix != "" {
+			prefix = g.prefix + "."
+		}
+		switch {
+		case g.c != nil:
 			names := g.c.Names()
 			sort.Strings(names)
 			for _, n := range names {
 				emit(prefix+n, g.c.Get(n))
 			}
-			continue
+		case g.h != nil:
+			names := g.h.Names()
+			sort.Strings(names)
+			for _, n := range names {
+				h := g.h.Get(n)
+				for _, s := range histoScalars {
+					emit(prefix+n+"."+s.suffix, s.value(h))
+				}
+			}
+		default:
+			g.fn(func(n string, v uint64) { emit(prefix+n, v) })
 		}
-		g.fn(func(n string, v uint64) { emit(prefix+n, v) })
 	}
 }
 

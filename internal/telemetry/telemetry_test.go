@@ -237,3 +237,65 @@ func TestCounterProbeSampling(t *testing.T) {
 		}
 	}
 }
+
+// TestRegistryHistograms pins the deterministic expansion of histogram
+// groups: sorted histogram names, each expanded to the fixed scalar
+// suffix order count/sum/min/max/p50/p95/p99, interleaved with other
+// groups in registration order, in both WriteText and WriteJSON.
+func TestRegistryHistograms(t *testing.T) {
+	hs := stats.NewHistograms()
+	lat := hs.New("z_latency")
+	hs.New("a_wait") // registered later than z_latency, sorts first
+	for i := 0; i < 10; i++ {
+		lat.Observe(10)
+	}
+	lat.Observe(100)
+
+	c := stats.NewCounters()
+	c.Add("ops", 7)
+
+	r := NewRegistry()
+	r.Register("dev", c)
+	r.RegisterHistograms("dev", hs)
+	r.RegisterHistograms("skip", nil) // ignored
+
+	var text bytes.Buffer
+	r.WriteText(&text)
+	want := "dev.ops 7\n" +
+		"dev.a_wait.count 0\ndev.a_wait.sum 0\ndev.a_wait.min 0\ndev.a_wait.max 0\n" +
+		"dev.a_wait.p50 0\ndev.a_wait.p95 0\ndev.a_wait.p99 0\n" +
+		"dev.z_latency.count 11\ndev.z_latency.sum 200\ndev.z_latency.min 10\ndev.z_latency.max 100\n" +
+		"dev.z_latency.p50 15\ndev.z_latency.p95 100\ndev.z_latency.p99 100\n"
+	if text.String() != want {
+		t.Fatalf("histogram text dump:\n%s\nwant:\n%s", text.String(), want)
+	}
+
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js, nil); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]uint64
+	if err := json.Unmarshal(js.Bytes(), &parsed); err != nil {
+		t.Fatalf("histogram JSON invalid: %v\n%s", err, js.String())
+	}
+	if parsed["dev.z_latency.p50"] != 15 || parsed["dev.a_wait.count"] != 0 {
+		t.Fatalf("histogram JSON values wrong: %v", parsed)
+	}
+	raw := js.String()
+	if strings.Index(raw, `"dev.a_wait.count"`) > strings.Index(raw, `"dev.z_latency.count"`) {
+		t.Fatalf("histogram JSON key order not sorted by name:\n%s", raw)
+	}
+}
+
+// TestRegistryEmptyPrefix: a group registered under "" keeps its own
+// fully-qualified names with no leading dot.
+func TestRegistryEmptyPrefix(t *testing.T) {
+	c := stats.NewCounters()
+	c.Add("core0.tlb.hits", 3)
+	r := NewRegistry()
+	r.Register("", c)
+	names, values := r.Snapshot()
+	if len(names) != 1 || names[0] != "core0.tlb.hits" || values[0] != 3 {
+		t.Fatalf("empty prefix snapshot = %v %v", names, values)
+	}
+}

@@ -21,11 +21,32 @@ type TLB struct {
 	entries  []TLBEntry
 	lruClock uint64
 	Counters *stats.Counters
+
+	// Histograms holds the TLB's distributions; WalkLatency aliases its
+	// "walk_latency" member.
+	Histograms *stats.Histograms
+	// WalkLatency records the page-walk cycles paid on each TLB miss;
+	// the owner (machine.Core) observes into it because the TLB itself
+	// has no clock.
+	WalkLatency *stats.Histogram
+
+	cHits   stats.Counter
+	cMisses stats.Counter
 }
 
-// NewTLB returns a TLB with the given number of entries.
-func NewTLB(size int) *TLB {
-	return &TLB{entries: make([]TLBEntry, size), Counters: stats.NewCounters()}
+// NewTLB returns a TLB with the given number of entries. Counter keys
+// are namespaced under the owner's name ("<name>.hits"), so per-core
+// TLBs merged into one registry stay distinct.
+func NewTLB(name string, size int) *TLB {
+	t := &TLB{
+		entries:    make([]TLBEntry, size),
+		Counters:   stats.NewCounters(),
+		Histograms: stats.NewHistograms(),
+	}
+	t.cHits = t.Counters.Handle(name + ".hits")
+	t.cMisses = t.Counters.Handle(name + ".misses")
+	t.WalkLatency = t.Histograms.New("walk_latency")
+	return t
 }
 
 // Lookup returns the entry caching vaddr's page, or nil on a miss.
@@ -36,11 +57,11 @@ func (t *TLB) Lookup(vaddr uint64) *TLBEntry {
 		if e.valid && e.VPN == vpn {
 			t.lruClock++
 			e.lru = t.lruClock
-			t.Counters.Inc("tlb.hits")
+			t.cHits.Inc()
 			return e
 		}
 	}
-	t.Counters.Inc("tlb.misses")
+	t.cMisses.Inc()
 	return nil
 }
 

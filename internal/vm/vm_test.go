@@ -176,7 +176,7 @@ func TestTranslateProperty(t *testing.T) {
 }
 
 func TestTLBHitMissLRU(t *testing.T) {
-	tlb := NewTLB(2)
+	tlb := NewTLB("tlb", 2)
 	if tlb.Lookup(0x1000) != nil {
 		t.Fatal("empty TLB hit")
 	}
@@ -199,7 +199,7 @@ func TestTLBHitMissLRU(t *testing.T) {
 }
 
 func TestTLBInvalidate(t *testing.T) {
-	tlb := NewTLB(8)
+	tlb := NewTLB("tlb", 8)
 	tlb.Insert(0x1000, 0xa000, true, true)
 	tlb.Insert(0x2000, 0xb000, true, true)
 	tlb.Invalidate(0x1000)
@@ -213,7 +213,7 @@ func TestTLBInvalidate(t *testing.T) {
 }
 
 func TestTLBInsertSamePageReplaces(t *testing.T) {
-	tlb := NewTLB(4)
+	tlb := NewTLB("tlb", 4)
 	tlb.Insert(0x1000, 0xa000, true, false)
 	tlb.Insert(0x1000, 0xa000, true, true)
 	e := tlb.Lookup(0x1000)
