@@ -115,3 +115,38 @@ func TestCompareSuiteMismatch(t *testing.T) {
 		t.Fatal("suite mismatch not reported")
 	}
 }
+
+// TestCLIDeterministicAcrossParallel exercises the full CLI path (flag
+// parsing, suite run, -out serialization) at two worker counts and
+// byte-compares the "deterministic" JSON sections as written to disk.
+// TestQuickSuiteDeterministic covers the in-process structs; this test
+// pins the artifact CI actually archives and diffs.
+func TestCLIDeterministicAcrossParallel(t *testing.T) {
+	dir := t.TempDir()
+	var sections [][]byte
+	for _, workers := range []string{"1", "3"} {
+		path := filepath.Join(dir, "bench-p"+workers+".json")
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-quick", "-parallel", workers, "-out", path}, &stdout, &stderr); code != 0 {
+			t.Fatalf("-parallel %s: exit %d\nstderr: %s", workers, code, stderr.String())
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep struct {
+			Deterministic json.RawMessage `json:"deterministic"`
+		}
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			t.Fatalf("-parallel %s: report is not JSON: %v", workers, err)
+		}
+		if len(rep.Deterministic) == 0 {
+			t.Fatalf("-parallel %s: report has no deterministic section", workers)
+		}
+		sections = append(sections, rep.Deterministic)
+	}
+	if !bytes.Equal(sections[0], sections[1]) {
+		t.Errorf("deterministic sections differ between -parallel 1 and -parallel 3:\n%s\n--- vs ---\n%s",
+			sections[0], sections[1])
+	}
+}

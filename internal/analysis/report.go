@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// rel makes file paths portable: relative to base, forward slashes.
+// Paths outside base (shouldn't happen) stay absolute.
+func rel(base, file string) string {
+	if base == "" {
+		return file
+	}
+	r, err := filepath.Rel(base, file)
+	if err != nil || len(r) >= 2 && r[:2] == ".." {
+		return file
+	}
+	return filepath.ToSlash(r)
+}
+
+// Relativized returns a copy of the report with every finding's File
+// rewritten relative to base. Used by both renderers so text, JSON, and
+// golden fixtures agree on paths.
+func (rep *Report) Relativized(base string) *Report {
+	out := *rep
+	out.Findings = make([]Finding, len(rep.Findings))
+	for i, f := range rep.Findings {
+		f.File = rel(base, f.File)
+		out.Findings[i] = f
+	}
+	return &out
+}
+
+// WriteText renders one "file:line:col: [pass] message" line per
+// finding plus a trailing summary.
+func (rep *Report) WriteText(w io.Writer, base string) {
+	r := rep.Relativized(base)
+	for _, f := range r.Findings {
+		fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Pass, f.Message)
+	}
+	fmt.Fprintf(w, "prosper-lint: %d finding(s) in %d package(s), %d suppressed\n",
+		len(r.Findings), r.Packages, r.Suppressed)
+}
+
+// WriteJSON renders the report as indented JSON. encoding/json with
+// pre-sorted findings keeps the bytes deterministic, which lets CI
+// archive the output and tests pin goldens.
+func (rep *Report) WriteJSON(w io.Writer, base string) error {
+	r := rep.Relativized(base)
+	if r.Findings == nil {
+		r.Findings = []Finding{}
+	}
+	enc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
+}

@@ -1,0 +1,114 @@
+// Package maprange is a prosper-lint fixture: it is type-checked under
+// a sim-deterministic import path, and every flagged line carries a
+// `want:<pass> "<substring>"` annotation consumed by analysis_test.go.
+package maprange
+
+import "sort"
+
+type sched struct{ events []uint64 }
+
+func (s *sched) Schedule(e uint64) { s.events = append(s.events, e) }
+
+// collectSorted is the approved idiom: collect keys, sort, then use.
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectUnsorted gathers keys but never establishes an order.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want:maprange "never sorted"
+	}
+	return keys
+}
+
+// accumulate uses commutative integer math: order-independent.
+func accumulate(m map[string]uint64) uint64 {
+	var sum uint64
+	n := 0
+	for _, v := range m {
+		sum += v
+		n++
+	}
+	return sum + uint64(n)
+}
+
+// floatSum rounds differently depending on iteration order.
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want:maprange "non-integer"
+	}
+	return sum
+}
+
+// keyedWrites only touch entries addressed by the loop variable.
+func keyedWrites(m map[uint64]int) map[uint64]int {
+	out := make(map[uint64]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	for k := range out {
+		if k == 0 {
+			delete(out, k)
+		}
+	}
+	return out
+}
+
+// schedules leaks iteration order through a side-effecting call.
+func schedules(s *sched, m map[uint64]bool) {
+	for addr := range m {
+		s.Schedule(addr) // want:maprange "side effects"
+	}
+}
+
+// lastWriterWins keeps whichever key the runtime visited last.
+func lastWriterWins(m map[string]int) string {
+	var last string
+	for k := range m {
+		last = k // want:maprange "last writer wins"
+	}
+	return last
+}
+
+// search returns constants only: any visiting order gives the answer.
+func search(m map[string]int, want int) bool {
+	for _, v := range m {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+// pick returns whichever key comes out first.
+func pick(m map[string]int) string {
+	for k := range m {
+		return k // want:maprange "selected by map iteration order"
+	}
+	return ""
+}
+
+// suppressed documents a known order-independent effect.
+func suppressed(s *sched, m map[uint64]bool) {
+	for addr := range m {
+		//prosperlint:ignore maprange fixture: writes hit disjoint addresses, final state is order-independent
+		s.Schedule(addr)
+	}
+}
+
+// sliceRange is not a map range: collecting without sorting is fine.
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

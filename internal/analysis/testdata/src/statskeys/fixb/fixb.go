@@ -1,0 +1,11 @@
+// Package fixb completes the cross-package duplicate-key fixture: it
+// registers the same unprefixed key as fixa.
+package fixb
+
+import "prosper/internal/stats"
+
+func register(c *stats.Counters) {
+	c.Inc("tlb_hits") // want:statskeys "registered by 2 packages"
+	c.Inc("fixb.hits")
+	c.Get("tlb_hits") // reads do not register: no duplicate from here
+}

@@ -1,0 +1,36 @@
+// Package wallclock is a prosper-lint fixture for the wallclock pass;
+// it is type-checked under a sim-deterministic import path.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// timeout is duration arithmetic on constants: legal.
+const timeout = 5 * time.Millisecond
+
+// tick uses the host clock where sim.Time belongs.
+func tick() int64 {
+	start := time.Now() // want:wallclock "time.Now"
+	busy()
+	return int64(time.Since(start)) + int64(timeout) // want:wallclock "time.Since"
+}
+
+// globalRand draws from the process-global source.
+func globalRand(n int) int {
+	return rand.Intn(n) // want:wallclock "process-global"
+}
+
+// seeded constructs an explicit source: legal anywhere.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// hostBoundary documents an approved host-side measurement.
+func hostBoundary() time.Time {
+	//prosperlint:ignore wallclock fixture: host-side progress timestamp, not sim time
+	return time.Now()
+}
+
+func busy() {}

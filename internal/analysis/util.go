@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// isDeterministicPkg reports whether the import path belongs to the
+// sim-deterministic set. Matching is by module-relative suffix so that
+// test fixtures loaded under synthetic paths behave like the real
+// packages they stand in for.
+func isDeterministicPkg(path string) bool {
+	for _, det := range DeterministicPackages {
+		if path == det || strings.HasSuffix(path, "/"+det) {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgPathSuffix reports whether path is, or ends with, the
+// module-relative package path p (e.g. "internal/runner").
+func pkgPathSuffix(path, p string) bool {
+	return path == p || strings.HasSuffix(path, "/"+p)
+}
+
+// importedPkgOf resolves a selector base expression to the import path
+// of the package it names, or "" if the base is not a package
+// identifier (e.g. it is a variable).
+func importedPkgOf(info *types.Info, x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// namedRecv resolves the method receiver behind a selector call and
+// returns the receiver's defining package path and type name, or
+// ("", "") when sel is not a method selection on a named type.
+func namedRecv(info *types.Info, sel *ast.SelectorExpr) (pkgPath, typeName string) {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return "", ""
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return "", ""
+	}
+	return n.Obj().Pkg().Path(), n.Obj().Name()
+}
+
+// constString returns the compile-time constant string value of expr,
+// if it has one (string literals and named string constants).
+func constString(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	if tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// walkWithStack traverses the AST rooted at root, calling fn with each
+// node and the stack of its ancestors (outermost first, not including
+// n itself). Returning false skips the node's children.
+func walkWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			// No push: Inspect only delivers the nil pop for nodes
+			// whose children were visited.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

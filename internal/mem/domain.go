@@ -1,5 +1,7 @@
 package mem
 
+import "slices"
+
 // Domain models the NVM persistence domain: the boundary between data
 // that survives a power failure and data that does not.
 //
@@ -137,12 +139,24 @@ func (d *Domain) PendingLines() int { return len(d.pending) }
 func (d *Domain) CrashImage() *Storage {
 	img := d.durable.CloneRange(NVMBase, NVMSize)
 	if d.adr {
-		for line, q := range d.pending {
+		for _, line := range d.pendingLinesSorted() {
+			q := d.pending[line]
 			snap := q[len(q)-1]
 			img.Write(line, snap[:])
 		}
 	}
 	return img
+}
+
+// pendingLinesSorted returns the in-flight line addresses in ascending
+// order so crash handling never depends on map iteration order.
+func (d *Domain) pendingLinesSorted() []uint64 {
+	lines := make([]uint64, 0, len(d.pending))
+	for line := range d.pending {
+		lines = append(lines, line)
+	}
+	slices.Sort(lines)
+	return lines
 }
 
 // Crash applies power-failure semantics to the live Storage in place:
@@ -152,7 +166,8 @@ func (d *Domain) CrashImage() *Storage {
 // Completion events already scheduled for the discarded writes are
 // remembered so they cannot consume post-crash admissions.
 func (d *Domain) Crash() {
-	for line, q := range d.pending {
+	for _, line := range d.pendingLinesSorted() {
+		q := d.pending[line]
 		if d.adr {
 			snap := q[len(q)-1]
 			d.durable.Write(line, snap[:])

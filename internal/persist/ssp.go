@@ -196,11 +196,15 @@ func (s *SSP) Checkpoint(done func(Result)) {
 		work = append(work, pageWork{page, lines})
 	}
 	// Deterministic order.
-	for i := 1; i < len(work); i++ {
-		for j := i; j > 0 && work[j-1].page > work[j].page; j-- {
-			work[j-1], work[j] = work[j], work[j-1]
+	slices.SortFunc(work, func(a, b pageWork) int {
+		switch {
+		case a.page < b.page:
+			return -1
+		case a.page > b.page:
+			return 1
 		}
-	}
+		return 0
+	})
 	pendingOps := 0
 	fired := false
 	complete := func() {

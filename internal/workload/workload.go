@@ -78,8 +78,8 @@ type G struct {
 	Rng *sim.Rand
 
 	sp      uint64
-	ops     chan Op
-	stop    chan struct{}
+	ops     chan Op       //prosperlint:ignore concurrency unbuffered handoff: the producer only runs while the consumer blocks, so op order is deterministic
+	stop    chan struct{} //prosperlint:ignore concurrency unbuffered handoff: the producer only runs while the consumer blocks, so op order is deterministic
 	stopped bool
 }
 
@@ -88,9 +88,9 @@ func (g *G) SP() uint64 { return g.sp }
 
 func (g *G) send(op Op) {
 	op.SP = g.sp
-	select {
-	case g.ops <- op:
-	case <-g.stop:
+	select { //prosperlint:ignore concurrency unbuffered handoff: the producer only runs while the consumer blocks, so op order is deterministic
+	case g.ops <- op: //prosperlint:ignore concurrency unbuffered handoff: the producer only runs while the consumer blocks, so op order is deterministic
+	case <-g.stop: //prosperlint:ignore concurrency stop is closed exactly once by Close; the panic unwinds the producer deterministically
 		panic(stoppedErr{})
 	}
 }
@@ -158,18 +158,18 @@ func (p *genProgram) Start(ctx Context) {
 		Ctx:  ctx,
 		Rng:  sim.NewRand(ctx.Seed),
 		sp:   ctx.StackHi,
-		ops:  make(chan Op),
-		stop: make(chan struct{}),
+		ops:  make(chan Op),       //prosperlint:ignore concurrency unbuffered handoff: the producer only runs while the consumer blocks, so op order is deterministic
+		stop: make(chan struct{}), //prosperlint:ignore concurrency unbuffered handoff: the producer only runs while the consumer blocks, so op order is deterministic
 	}
 	p.g = g
-	go func() {
+	go func() { //prosperlint:ignore concurrency one producer goroutine per program, lockstep with its consumer; no shared sim state
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(stoppedErr); !ok {
 					panic(r)
 				}
 			}
-			close(g.ops)
+			close(g.ops) //prosperlint:ignore concurrency close signals end-of-ops to the single consumer
 		}()
 		p.body(g)
 	}()
@@ -179,7 +179,7 @@ func (p *genProgram) Next() Op {
 	if p.done {
 		return Op{Kind: End}
 	}
-	op, ok := <-p.g.ops
+	op, ok := <-p.g.ops //prosperlint:ignore concurrency unbuffered handoff: the producer only runs while the consumer blocks, so op order is deterministic
 	if !ok {
 		p.done = true
 		return Op{Kind: End}
@@ -192,9 +192,9 @@ func (p *genProgram) Close() {
 		return
 	}
 	p.g.stopped = true
-	close(p.g.stop)
+	close(p.g.stop) //prosperlint:ignore concurrency close signals stop to the single producer exactly once
 	// Drain until the producer exits so its goroutine is collected.
-	for range p.g.ops {
+	for range p.g.ops { //prosperlint:ignore concurrency drain after stop: values are discarded, order is irrelevant
 	}
 	p.done = true
 }
