@@ -6,20 +6,28 @@
 //	prosper-bench [-quick] [-out FILE] [-parallel n]
 //	prosper-bench -compare OLD.json [-tolerance pct] [-quick] [-parallel n]
 //
-// The report has two sections. "deterministic" holds simulation metrics
-// (user ops/cycles and the IPC proxy, checkpoint counts and bytes, and
-// the checkpoint-pause distribution with its quantiles) — these are
-// byte-for-byte reproducible for a given suite on any machine and any
-// -parallel value, so every out-of-tolerance difference against a
-// baseline is a real behavior change. "host_nondeterministic" holds
-// wall-clock time and allocation totals: useful for eyeballing simulator
-// performance, excluded from -compare because they vary run to run.
+// The report has three sections. "deterministic" holds simulation
+// metrics (user ops/cycles and the IPC proxy, checkpoint counts and
+// bytes, and the checkpoint-pause distribution with its quantiles) —
+// these are byte-for-byte reproducible for a given suite on any machine
+// and any -parallel value, so every out-of-tolerance difference against
+// a baseline is a real behavior change. "host_throughput" tracks how
+// efficiently the simulator itself runs: simulated kilocycles per
+// wall-second (informational), and heap allocations/bytes per simulated
+// megacycle, which are stable enough across hosts to ratchet — -compare
+// fails when they regress beyond -throughput-tolerance percent, while
+// improvements always pass. "host_nondeterministic" holds raw wall-clock
+// time and allocation totals: useful for eyeballing, excluded from
+// -compare entirely because they vary run to run.
 //
 // -compare loads a previous report and exits non-zero if any
 // deterministic metric drifted beyond -tolerance percent (default 0:
-// exact match), or if the two reports cover different runs. Compare
-// like-for-like: a -quick run against a -quick baseline (the committed
-// BENCH_0004.json is the -quick suite).
+// exact match), if the allocation-throughput ratchet regressed, or if
+// the two reports cover different runs. Compare like-for-like: a -quick
+// run against a -quick baseline (the committed BENCH_0006.json is the
+// -quick suite; BENCH_0004.json is the same suite in the pre-ratchet
+// schema, kept so the deterministic sections can be diffed across the
+// event-core refactor).
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -38,7 +47,7 @@ import (
 	"prosper/internal/workload"
 )
 
-const schemaVersion = "prosper-bench/1"
+const schemaVersion = "prosper-bench/2"
 
 // report is the serialized benchmark outcome. encoding/json marshals
 // maps with sorted keys, so the emitted bytes are deterministic for the
@@ -49,8 +58,26 @@ type report struct {
 	// Deterministic maps "bench/mechanism" to integral simulation
 	// metrics. Identical for every run of the same binary and suite.
 	Deterministic map[string]map[string]uint64 `json:"deterministic"`
+	// Throughput tracks simulator efficiency; -compare ratchets the
+	// allocation-rate metrics (see compare) and exact-checks sim_cycles.
+	Throughput throughputStats `json:"host_throughput"`
 	// Host metrics vary run to run; -compare ignores this section.
 	Host hostStats `json:"host_nondeterministic"`
+}
+
+// throughputStats normalizes host cost by simulated work, which is what
+// makes it comparable across commits: sim_cycles is deterministic,
+// events_fired is deterministic per binary (batching optimizations may
+// lower it), and the per-megacycle allocation rates divide host totals
+// by deterministic work so they are stable enough to gate on.
+// kcycles_per_sec depends on raw wall-clock and is never compared.
+type throughputStats struct {
+	Note            string  `json:"note"`
+	SimCycles       uint64  `json:"sim_cycles"`
+	EventsFired     uint64  `json:"events_fired"`
+	KCyclesPerSec   float64 `json:"kcycles_per_sec"`
+	AllocsPerMcycle float64 `json:"allocs_per_mcycle"`
+	BytesPerMcycle  float64 `json:"bytes_per_mcycle"`
 }
 
 type hostStats struct {
@@ -166,16 +193,39 @@ func runSuite(quick bool, workers int) report {
 			HeapBytes:  ms1.TotalAlloc - ms0.TotalAlloc,
 		},
 	}
+	var simCycles, eventsFired uint64
 	for i, sp := range specs {
 		rep.Deterministic[sp.DisplayLabel()] = metrics(res[i])
+		simCycles += uint64(res[i].SimEnd)
+		eventsFired += res[i].EventsFired
+	}
+	rep.Throughput = throughputStats{
+		Note:        "allocation rates per simulated megacycle are ratcheted by -compare; kcycles_per_sec is informational",
+		SimCycles:   simCycles,
+		EventsFired: eventsFired,
+	}
+	mcycles := float64(simCycles) / 1e6
+	if mcycles > 0 {
+		rep.Throughput.AllocsPerMcycle = round2(float64(rep.Host.HeapAllocs) / mcycles)
+		rep.Throughput.BytesPerMcycle = round2(float64(rep.Host.HeapBytes) / mcycles)
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		rep.Throughput.KCyclesPerSec = round2(float64(simCycles) / 1e3 / secs)
 	}
 	return rep
 }
 
+// round2 keeps the throughput rates readable in committed baselines
+// (two decimal places carry more precision than the ratchet needs).
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
 // compare reports every deterministic metric of new that drifted beyond
 // tolerance percent from old, plus runs or metrics present on only one
-// side. An empty result means the reports agree.
-func compare(old, cur report, tolerancePct float64) []string {
+// side, plus host-throughput ratchet violations: sim_cycles must match
+// exactly (it is deterministic), and events_fired, allocs_per_mcycle and
+// bytes_per_mcycle may improve freely but must not regress beyond
+// throughputTolPct percent. An empty result means the reports agree.
+func compare(old, cur report, tolerancePct, throughputTolPct float64) []string {
 	var problems []string
 	if old.Schema != cur.Schema {
 		problems = append(problems, fmt.Sprintf("schema mismatch: baseline %q vs current %q", old.Schema, cur.Schema))
@@ -230,6 +280,34 @@ func compare(old, cur report, tolerancePct float64) []string {
 			problems = append(problems, fmt.Sprintf("run %q absent from baseline", name))
 		}
 	}
+
+	// Host-throughput ratchet. A prosper-bench/1 baseline predates the
+	// ratchet and carries no host_throughput section; skip it rather than
+	// compare against zeros (the schema mismatch above already flags the
+	// cross-version comparison).
+	if old.Throughput.SimCycles == 0 && old.Throughput.EventsFired == 0 {
+		return problems
+	}
+	// sim_cycles is deterministic, so any difference is a behavior change
+	// the deterministic section will also flag — but check it here too so
+	// a ratchet comparison against the wrong baseline cannot silently
+	// normalize by different work.
+	if old.Throughput.SimCycles != cur.Throughput.SimCycles {
+		problems = append(problems, fmt.Sprintf(
+			"host_throughput.sim_cycles: baseline %d, current %d (deterministic; must match exactly)",
+			old.Throughput.SimCycles, cur.Throughput.SimCycles))
+	}
+	ratchet := func(metric string, ov, nv float64) {
+		if ov <= 0 || nv <= ov*(1+throughputTolPct/100) {
+			return
+		}
+		problems = append(problems, fmt.Sprintf(
+			"THROUGHPUT REGRESSION host_throughput.%s: baseline %.2f, current %.2f (+%.2f%%, tolerance %.2f%%)",
+			metric, ov, nv, (nv-ov)/ov*100, throughputTolPct))
+	}
+	ratchet("events_fired", float64(old.Throughput.EventsFired), float64(cur.Throughput.EventsFired))
+	ratchet("allocs_per_mcycle", old.Throughput.AllocsPerMcycle, cur.Throughput.AllocsPerMcycle)
+	ratchet("bytes_per_mcycle", old.Throughput.BytesPerMcycle, cur.Throughput.BytesPerMcycle)
 	return problems
 }
 
@@ -241,6 +319,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	out := fs.String("out", "", "write the JSON report to FILE (default stdout)")
 	comparePath := fs.String("compare", "", "compare deterministic metrics against a previous report; non-zero exit on drift")
 	tolerance := fs.Float64("tolerance", 0, "allowed per-metric drift for -compare, in percent")
+	throughputTol := fs.Float64("throughput-tolerance", 20, "allowed host-throughput regression for -compare, in percent (improvements always pass)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent runs (results identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -263,7 +342,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "prosper-bench: parsing %s: %v\n", *comparePath, err)
 			return 2
 		}
-		problems := compare(old, rep, *tolerance)
+		problems := compare(old, rep, *tolerance, *throughputTol)
 		if len(problems) > 0 {
 			for _, p := range problems {
 				fmt.Fprintln(stdout, p)

@@ -111,8 +111,94 @@ func TestCompareSuiteMismatch(t *testing.T) {
 		Deterministic: map[string]map[string]uint64{}}
 	cur := report{Schema: schemaVersion, Suite: "full",
 		Deterministic: map[string]map[string]uint64{}}
-	if problems := compare(old, cur, 0); len(problems) == 0 {
+	if problems := compare(old, cur, 0, 20); len(problems) == 0 {
 		t.Fatal("suite mismatch not reported")
+	}
+}
+
+// TestThroughputRatchet exercises the host-throughput gate: regressions
+// beyond tolerance fail, improvements and in-tolerance noise pass, and a
+// sim_cycles difference is flagged even when the rates look fine.
+func TestThroughputRatchet(t *testing.T) {
+	base := report{Schema: schemaVersion, Suite: "quick",
+		Deterministic: map[string]map[string]uint64{},
+		Throughput: throughputStats{
+			SimCycles:       1_000_000,
+			EventsFired:     50_000,
+			AllocsPerMcycle: 100,
+			BytesPerMcycle:  4096,
+		}}
+	cur := base
+
+	if problems := compare(base, cur, 0, 20); len(problems) != 0 {
+		t.Fatalf("identical throughput flagged: %v", problems)
+	}
+
+	cur.Throughput.AllocsPerMcycle = 150 // +50%
+	problems := compare(base, cur, 0, 20)
+	if len(problems) != 1 || !strings.Contains(problems[0], "allocs_per_mcycle") {
+		t.Fatalf("50%% alloc-rate regression not flagged: %v", problems)
+	}
+	if problems := compare(base, cur, 0, 60); len(problems) != 0 {
+		t.Fatalf("60%% tolerance did not absorb +50%%: %v", problems)
+	}
+
+	cur.Throughput.AllocsPerMcycle = 10 // large improvement
+	cur.Throughput.EventsFired = 1_000
+	if problems := compare(base, cur, 0, 20); len(problems) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", problems)
+	}
+
+	cur = base
+	cur.Throughput.EventsFired = 80_000 // +60%
+	problems = compare(base, cur, 0, 20)
+	if len(problems) != 1 || !strings.Contains(problems[0], "events_fired") {
+		t.Fatalf("event-count regression not flagged: %v", problems)
+	}
+
+	cur = base
+	cur.Throughput.SimCycles = 999_999
+	problems = compare(base, cur, 0, 20)
+	if len(problems) != 1 || !strings.Contains(problems[0], "sim_cycles") {
+		t.Fatalf("sim_cycles mismatch not flagged: %v", problems)
+	}
+
+	// A pre-ratchet baseline (no host_throughput section) must not be
+	// ratcheted against zeros; only its schema mismatch is reported.
+	v1 := report{Schema: "prosper-bench/1", Suite: "quick",
+		Deterministic: map[string]map[string]uint64{}}
+	cur = base
+	problems = compare(v1, cur, 0, 20)
+	if len(problems) != 1 || !strings.Contains(problems[0], "schema mismatch") {
+		t.Fatalf("pre-ratchet baseline: want only schema mismatch, got %v", problems)
+	}
+}
+
+// TestBaselineContinuity pins the no-cycle-drift invariant of the event
+// core refactor in the repository itself: the committed BENCH_0006.json
+// (prosper-bench/2) must carry a deterministic section byte-identical to
+// the committed pre-refactor BENCH_0004.json (prosper-bench/1).
+func TestBaselineContinuity(t *testing.T) {
+	read := func(name string) json.RawMessage {
+		raw, err := os.ReadFile(filepath.Join("..", "..", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep struct {
+			Deterministic json.RawMessage `json:"deterministic"`
+		}
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rep.Deterministic) == 0 {
+			t.Fatalf("%s: no deterministic section", name)
+		}
+		return rep.Deterministic
+	}
+	old := read("BENCH_0004.json")
+	cur := read("BENCH_0006.json")
+	if !bytes.Equal(old, cur) {
+		t.Fatalf("deterministic sections diverged between baselines:\n%s\n--- vs ---\n%s", old, cur)
 	}
 }
 

@@ -6,6 +6,12 @@
 // Caches are timing-only: they track tags and dirtiness, while data lives
 // in mem.Storage. Every level implements Port, so levels chain naturally
 // and the memory controller terminates the chain.
+//
+// Completion uses sim.Done tokens rather than func() closures, and each
+// level's fetch/fill continuations are method values materialized once at
+// construction, so the steady-state hit and miss paths allocate nothing.
+// When the next level is another *Cache the chain is devirtualized: New
+// detects the concrete type and calls it directly.
 package cache
 
 import (
@@ -15,15 +21,16 @@ import (
 )
 
 // Port is anything that can service a line-granularity memory access.
+// The zero Done token means "posted" — no completion callback.
 type Port interface {
-	Access(write bool, addr uint64, done func())
+	Access(write bool, addr uint64, done sim.Done)
 }
 
 // PortFunc adapts a function to the Port interface.
-type PortFunc func(write bool, addr uint64, done func())
+type PortFunc func(write bool, addr uint64, done sim.Done)
 
 // Access calls f.
-func (f PortFunc) Access(write bool, addr uint64, done func()) { f(write, addr, done) }
+func (f PortFunc) Access(write bool, addr uint64, done sim.Done) { f(write, addr, done) }
 
 // Config describes one cache level.
 type Config struct {
@@ -64,13 +71,13 @@ type mshr struct {
 
 type waiter struct {
 	write bool
-	done  func()
+	done  sim.Done
 }
 
 type deferredAccess struct {
 	write bool
 	addr  uint64
-	done  func()
+	done  sim.Done
 }
 
 // Cache is one set-associative write-back, write-allocate level.
@@ -78,13 +85,25 @@ type Cache struct {
 	eng  *sim.Engine
 	cfg  Config
 	next Port
+	// nextCache devirtualizes the common chain (L1→L2→L3): when the next
+	// level is a concrete *Cache, Access goes straight to it instead of
+	// through the interface.
+	nextCache *Cache
 
 	sets     [][]line
 	setMask  uint64
 	lruClock uint64
 
-	mshrs   map[uint64]*mshr
-	blocked []deferredAccess // accesses stalled on MSHR exhaustion
+	mshrs    map[uint64]*mshr
+	mshrFree []*mshr          // retired MSHRs, reused with their waiter backing
+	blocked  []deferredAccess // accesses stalled on MSHR exhaustion
+	retryBuf []deferredAccess // spare backing swapped with blocked on retry
+
+	// fetchFn/fillFn are the miss-path continuations (method values bound
+	// once here, rebound never): fetch asks the next level for the line
+	// after the lookup latency; fill installs it on arrival.
+	fetchFn func(uint64)
+	fillFn  func(uint64)
 
 	Counters   *stats.Counters
 	Histograms *stats.Histograms
@@ -126,6 +145,11 @@ func New(eng *sim.Engine, cfg Config, next Port) *Cache {
 		Counters:   stats.NewCounters(),
 		Histograms: stats.NewHistograms(),
 	}
+	if nc, ok := next.(*Cache); ok {
+		c.nextCache = nc
+	}
+	c.fetchFn = c.fetch
+	c.fillFn = c.fill
 	c.cHits = c.Counters.Handle(cfg.Name + ".hits")
 	c.cMisses = c.Counters.Handle(cfg.Name + ".misses")
 	c.cReadAccesses = c.Counters.Handle(cfg.Name + ".read_accesses")
@@ -155,9 +179,19 @@ func (c *Cache) lookup(lineAddr uint64) *line {
 	return nil
 }
 
+// nextAccess forwards one access to the level below, devirtualized when
+// that level is a concrete *Cache.
+func (c *Cache) nextAccess(write bool, addr uint64, done sim.Done) {
+	if c.nextCache != nil {
+		c.nextCache.Access(write, addr, done)
+		return
+	}
+	c.next.Access(write, addr, done)
+}
+
 // Access services one access to the line containing addr. The access is
 // aligned internally; callers may pass arbitrary byte addresses.
-func (c *Cache) Access(write bool, addr uint64, done func()) {
+func (c *Cache) Access(write bool, addr uint64, done sim.Done) {
 	if write {
 		c.cWriteAccesses.Inc()
 	} else {
@@ -169,7 +203,7 @@ func (c *Cache) Access(write bool, addr uint64, done func()) {
 // access is the internal (non-counting-of-entry) path, reused verbatim by
 // MSHR-stall retries so that one logical access is accounted exactly once
 // as a hit or a miss.
-func (c *Cache) access(write bool, lineAddr uint64, done func()) {
+func (c *Cache) access(write bool, lineAddr uint64, done sim.Done) {
 	if ln := c.lookup(lineAddr); ln != nil {
 		c.cHits.Inc()
 		c.lruClock++
@@ -177,15 +211,15 @@ func (c *Cache) access(write bool, lineAddr uint64, done func()) {
 		if write {
 			ln.dirty = true
 		}
-		if done != nil {
-			c.eng.Schedule(c.cfg.Latency, done)
+		if done.Valid() {
+			c.eng.ScheduleDone(c.cfg.Latency, done)
 		}
 		return
 	}
 	c.miss(write, lineAddr, done)
 }
 
-func (c *Cache) miss(write bool, lineAddr uint64, done func()) {
+func (c *Cache) miss(write bool, lineAddr uint64, done sim.Done) {
 	if m, ok := c.mshrs[lineAddr]; ok {
 		// Coalesce with the in-flight fetch of the same line.
 		c.cMisses.Inc()
@@ -200,13 +234,18 @@ func (c *Cache) miss(write bool, lineAddr uint64, done func()) {
 		return
 	}
 	c.cMisses.Inc()
-	m := &mshr{waiters: []waiter{{write: write, done: done}}, issued: c.eng.Now()}
+	m := c.allocMSHR()
+	m.waiters = append(m.waiters, waiter{write: write, done: done})
+	m.issued = c.eng.Now()
 	c.mshrs[lineAddr] = m
 	c.hMSHROcc.Observe(uint64(len(c.mshrs)))
 	// Fetch the line from the level below after paying the lookup latency.
-	c.eng.Schedule(c.cfg.Latency, func() {
-		c.next.Access(false, lineAddr, func() { c.fill(lineAddr) })
-	})
+	c.eng.ScheduleDone(c.cfg.Latency, sim.Bind(c.fetchFn, lineAddr))
+}
+
+// fetch asks the next level for lineAddr; fill runs on its completion.
+func (c *Cache) fetch(lineAddr uint64) {
+	c.nextAccess(false, lineAddr, sim.Bind(c.fillFn, lineAddr))
 }
 
 func (c *Cache) fill(lineAddr uint64) {
@@ -218,19 +257,38 @@ func (c *Cache) fill(lineAddr uint64) {
 	if victim.valid && victim.dirty {
 		c.cWritebacks.Inc()
 		// Posted writeback: lower level absorbs it asynchronously.
-		c.next.Access(true, victim.tag, nil)
+		c.nextAccess(true, victim.tag, sim.Done{})
 	}
 	c.lruClock++
 	*victim = line{tag: lineAddr, valid: true, lru: c.lruClock}
-	for _, w := range m.waiters {
+	for i := range m.waiters {
+		w := m.waiters[i]
 		if w.write {
 			victim.dirty = true
 		}
-		if w.done != nil {
-			w.done()
-		}
+		w.done.Run()
 	}
+	// Retire the MSHR only after the waiter loop: callbacks above may
+	// allocate MSHRs for new misses and must not be handed this one.
+	c.freeMSHR(m)
 	c.retryBlocked()
+}
+
+func (c *Cache) allocMSHR() *mshr {
+	if n := len(c.mshrFree); n > 0 {
+		m := c.mshrFree[n-1]
+		c.mshrFree = c.mshrFree[:n-1]
+		return m
+	}
+	return &mshr{}
+}
+
+func (c *Cache) freeMSHR(m *mshr) {
+	for i := range m.waiters {
+		m.waiters[i] = waiter{} // drop completion references
+	}
+	m.waiters = m.waiters[:0]
+	c.mshrFree = append(c.mshrFree, m)
 }
 
 func (c *Cache) victimFor(lineAddr uint64) *line {
@@ -251,11 +309,18 @@ func (c *Cache) retryBlocked() {
 	if len(c.blocked) == 0 {
 		return
 	}
+	// Swap in the spare backing so retries re-deferred by still-full MSHRs
+	// append to a distinct slice; the drained one becomes the next spare.
 	pend := c.blocked
-	c.blocked = nil
-	for _, p := range pend {
+	c.blocked = c.retryBuf[:0]
+	for i := range pend {
+		p := pend[i]
 		c.access(p.write, p.addr, p.done)
 	}
+	for i := range pend {
+		pend[i] = deferredAccess{}
+	}
+	c.retryBuf = pend[:0]
 }
 
 // MSHRsInUse returns how many miss-status registers hold in-flight
@@ -277,7 +342,7 @@ func (c *Cache) Flush() {
 			ln := &c.sets[si][wi]
 			if ln.valid && ln.dirty {
 				c.cWritebacks.Inc()
-				c.next.Access(true, ln.tag, nil)
+				c.nextAccess(true, ln.tag, sim.Done{})
 			}
 			ln.valid = false
 			ln.dirty = false

@@ -12,12 +12,12 @@ import (
 func BenchmarkCacheHit(b *testing.B) {
 	eng := sim.NewEngine()
 	c, _ := testCache(eng, 4)
-	c.Access(false, 0x1000, nil)
+	c.Access(false, 0x1000, sim.Done{})
 	eng.Run()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.Access(false, 0x1000, nil)
+		c.Access(false, 0x1000, sim.Done{})
 	}
 }
 
@@ -28,11 +28,11 @@ func BenchmarkCacheMissCoalesced(b *testing.B) {
 	c, _ := testCache(eng, 4)
 	// Leave one fetch permanently in flight by never running the engine:
 	// every further access to the line coalesces onto its MSHR.
-	c.Access(false, 0x2000, nil)
+	c.Access(false, 0x2000, sim.Done{})
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.access(false, 0x2000, nil)
+		c.access(false, 0x2000, sim.Done{})
 	}
 	b.StopTimer()
 	if got := int(c.Counters.Get("t.mshr_coalesced")); got != b.N {
@@ -45,10 +45,10 @@ func BenchmarkCacheMissCoalesced(b *testing.B) {
 func TestCacheHistograms(t *testing.T) {
 	eng := sim.NewEngine()
 	c, _ := testCache(eng, 4)
-	c.Access(false, 0x1000, nil) // miss
-	c.Access(false, 0x4000, nil) // second miss, occupancy 2
+	c.Access(false, 0x1000, sim.Done{}) // miss
+	c.Access(false, 0x4000, sim.Done{}) // second miss, occupancy 2
 	eng.Run()
-	c.Access(false, 0x1000, nil) // hit: no new samples
+	c.Access(false, 0x1000, sim.Done{}) // hit: no new samples
 	eng.Run()
 
 	ml := c.Histograms.Get("miss_latency")

@@ -15,14 +15,14 @@ type immediatePort struct {
 	latency       sim.Time
 }
 
-func (p *immediatePort) Access(write bool, addr uint64, done func()) {
+func (p *immediatePort) Access(write bool, addr uint64, done sim.Done) {
 	if write {
 		p.writes++
 	} else {
 		p.reads++
 	}
-	if done != nil {
-		p.eng.Schedule(p.latency, done)
+	if done.Valid() {
+		p.eng.ScheduleDone(p.latency, done)
 	}
 }
 
@@ -36,9 +36,9 @@ func TestCacheMissThenHit(t *testing.T) {
 	eng := sim.NewEngine()
 	c, below := testCache(eng, 4)
 	var missT, hitT sim.Time
-	c.Access(false, 0x1000, func() { missT = eng.Now() })
+	c.Access(false, 0x1000, sim.Thunk(func() { missT = eng.Now() }))
 	eng.Run()
-	c.Access(false, 0x1008, func() { hitT = eng.Now() - missT })
+	c.Access(false, 0x1008, sim.Thunk(func() { hitT = eng.Now() - missT }))
 	eng.Run()
 	if missT < 100 {
 		t.Fatalf("miss too fast: %d", missT)
@@ -59,7 +59,7 @@ func TestCacheMSHRCoalescing(t *testing.T) {
 	c, below := testCache(eng, 4)
 	completed := 0
 	for i := 0; i < 5; i++ {
-		c.Access(false, 0x2000+uint64(i*8), func() { completed++ })
+		c.Access(false, 0x2000+uint64(i*8), sim.Thunk(func() { completed++ }))
 	}
 	eng.Run()
 	if completed != 5 {
@@ -78,7 +78,7 @@ func TestCacheMSHRExhaustionStalls(t *testing.T) {
 	c, _ := testCache(eng, 2)
 	completed := 0
 	for i := 0; i < 6; i++ {
-		c.Access(false, uint64(i)*mem.LineSize, func() { completed++ })
+		c.Access(false, uint64(i)*mem.LineSize, sim.Thunk(func() { completed++ }))
 	}
 	if c.Counters.Get("t.mshr_stalls") == 0 {
 		t.Fatal("expected MSHR stalls")
@@ -96,11 +96,11 @@ func TestCacheDirtyEvictionWritesBack(t *testing.T) {
 	// 32*64=2048 bytes apart. Fill set 0 with 4 dirty lines then a 5th.
 	stride := uint64(32 * mem.LineSize)
 	for i := 0; i < 4; i++ {
-		c.Access(true, uint64(i)*stride, nil)
+		c.Access(true, uint64(i)*stride, sim.Done{})
 	}
 	eng.Run()
 	writesBefore := below.writes
-	c.Access(true, 4*stride, nil)
+	c.Access(true, 4*stride, sim.Done{})
 	eng.Run()
 	if below.writes != writesBefore+1 {
 		t.Fatalf("expected exactly one writeback, got %d", below.writes-writesBefore)
@@ -115,13 +115,13 @@ func TestCacheLRUVictimSelection(t *testing.T) {
 	c, _ := testCache(eng, 8)
 	stride := uint64(32 * mem.LineSize)
 	for i := 0; i < 4; i++ {
-		c.Access(false, uint64(i)*stride, nil)
+		c.Access(false, uint64(i)*stride, sim.Done{})
 	}
 	eng.Run()
 	// Touch line 0 so line 1 becomes LRU.
-	c.Access(false, 0, nil)
+	c.Access(false, 0, sim.Done{})
 	eng.Run()
-	c.Access(false, 4*stride, nil) // evicts line 1
+	c.Access(false, 4*stride, sim.Done{}) // evicts line 1
 	eng.Run()
 	if !c.Contains(0) {
 		t.Fatal("recently used line evicted")
@@ -134,8 +134,8 @@ func TestCacheLRUVictimSelection(t *testing.T) {
 func TestCacheFlush(t *testing.T) {
 	eng := sim.NewEngine()
 	c, below := testCache(eng, 8)
-	c.Access(true, 0x100, nil)
-	c.Access(false, 0x200, nil)
+	c.Access(true, 0x100, sim.Done{})
+	c.Access(false, 0x200, sim.Done{})
 	eng.Run()
 	c.Flush()
 	eng.Run()
@@ -153,10 +153,10 @@ func TestHierarchyEndToEnd(t *testing.T) {
 	h := NewHierarchy(eng, 2, PortFunc(ctl.Access))
 	var coldT, warmT sim.Time
 	start := eng.Now()
-	h.CorePort(0).Access(false, 0x4000, func() { coldT = eng.Now() - start })
+	h.CorePort(0).Access(false, 0x4000, sim.Thunk(func() { coldT = eng.Now() - start }))
 	eng.Run()
 	start = eng.Now()
-	h.CorePort(0).Access(false, 0x4000, func() { warmT = eng.Now() - start })
+	h.CorePort(0).Access(false, 0x4000, sim.Thunk(func() { warmT = eng.Now() - start }))
 	eng.Run()
 	// Cold miss must traverse L1+L2+L3+DRAM; warm hit costs L1 latency.
 	if coldT < 135 {
@@ -177,10 +177,10 @@ func TestHierarchyNVMSlower(t *testing.T) {
 	h := NewHierarchy(eng, 1, PortFunc(ctl.Access))
 	var dramT, nvmT sim.Time
 	start := eng.Now()
-	h.CorePort(0).Access(false, 0x10000, func() { dramT = eng.Now() - start })
+	h.CorePort(0).Access(false, 0x10000, sim.Thunk(func() { dramT = eng.Now() - start }))
 	eng.Run()
 	start = eng.Now()
-	h.CorePort(0).Access(false, mem.NVMBase+0x10000, func() { nvmT = eng.Now() - start })
+	h.CorePort(0).Access(false, mem.NVMBase+0x10000, sim.Thunk(func() { nvmT = eng.Now() - start }))
 	eng.Run()
 	if nvmT <= dramT {
 		t.Fatalf("NVM miss (%d) should be slower than DRAM miss (%d)", nvmT, dramT)
@@ -195,7 +195,7 @@ func TestCacheTagInvariantProperty(t *testing.T) {
 		c, _ := testCache(eng, 4)
 		for i, a := range addrs {
 			w := i < len(writes) && writes[i]
-			c.Access(w, uint64(a)*8, nil)
+			c.Access(w, uint64(a)*8, sim.Done{})
 		}
 		eng.Run()
 		for si, set := range c.sets {
@@ -228,7 +228,7 @@ func TestCacheAccountingProperty(t *testing.T) {
 		c, _ := testCache(eng, 3)
 		done := 0
 		for _, a := range addrs {
-			c.Access(false, uint64(a)*mem.LineSize, func() { done++ })
+			c.Access(false, uint64(a)*mem.LineSize, sim.Thunk(func() { done++ }))
 		}
 		eng.Run()
 		total := c.Counters.Get("t.hits") + c.Counters.Get("t.misses")

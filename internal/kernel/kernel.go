@@ -250,6 +250,7 @@ func (k *Kernel) scheduleNext(cs *coreState) {
 	t := cs.runq[0]
 	cs.runq = cs.runq[1:]
 	cs.cur = t
+	t.cs = cs
 	cs.idle = false
 	t.state = threadRunning
 	t.needYield = false

@@ -99,6 +99,17 @@ type Thread struct {
 
 	storeSeq uint64
 	sp       uint64
+
+	// Run-loop continuations, bound once at thread creation so the
+	// per-op step/finish cycle allocates nothing: cs is the core the
+	// thread currently occupies (set by scheduleNext), opStart the issue
+	// cycle of the op in flight, storeBuf the reused store payload.
+	cs          *coreState
+	opStart     sim.Time
+	stepFn      func()
+	loadDoneFn  func([]byte)
+	storeDoneFn func()
+	storeBuf    []byte
 }
 
 // State returns a printable thread state (tests and tools).
@@ -270,6 +281,7 @@ func (p *Process) newThread(i int, prog workload.Program) *Thread {
 		HeapSize:     cfg.HeapSize,
 		Seed:         cfg.Seed + uint64(i)*7919,
 	}
+	t.bindOps(k)
 	if cfg.StackMech != nil {
 		t.mech = cfg.StackMech()
 	} else {

@@ -128,6 +128,7 @@ func (k *Kernel) RecoverProcess(cfg ProcessConfig, progs []workload.Program, don
 			home: k.leastLoadedCore(),
 		}
 		t.storeSeq = storeSeq
+		t.bindOps(k)
 		t.Ctx = workload.Context{
 			StackHi:      stackHi,
 			StackReserve: cfg.StackReserve,

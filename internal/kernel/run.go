@@ -19,12 +19,7 @@ func (k *Kernel) step(t *Thread, cs *coreState) {
 		return
 	}
 	op := t.Prog.Next()
-	start := k.Eng.Now()
-	finish := func() {
-		t.UserOps++
-		t.UserCycles += uint64(k.Eng.Now()-start) + 1
-		k.Eng.Schedule(1, func() { k.step(t, cs) })
-	}
+	t.opStart = k.Eng.Now()
 	switch op.Kind {
 	case workload.End:
 		t.state = threadDone
@@ -34,28 +29,53 @@ func (k *Kernel) step(t *Thread, cs *coreState) {
 	case workload.Compute:
 		t.UserOps += uint64(op.Cycles) // a compute block is ~1 op/cycle
 		t.UserCycles += uint64(op.Cycles)
-		k.Eng.Schedule(op.Cycles, func() { k.step(t, cs) })
+		k.Eng.Schedule(op.Cycles, t.stepFn)
 	case workload.Load:
 		if op.SP != 0 {
 			t.sp = op.SP
 		}
-		cs.core.Read(op.Addr, int(op.Size), func([]byte) { finish() })
+		cs.core.Read(op.Addr, int(op.Size), t.loadDoneFn)
 	case workload.Store:
 		if op.SP != 0 {
 			t.sp = op.SP
 		}
-		cs.core.Write(op.Addr, t.storeData(op), finish)
+		cs.core.Write(op.Addr, t.storeData(op), t.storeDoneFn)
 	default:
 		panic("kernel: unknown op kind")
 	}
 }
 
+// bindOps materializes the thread's step/completion callbacks once, at
+// thread birth, so the per-op hot loop never allocates a closure. Every
+// Thread constructor (spawn and recovery) must call it.
+func (t *Thread) bindOps(k *Kernel) {
+	t.stepFn = func() { k.step(t, t.cs) }
+	t.loadDoneFn = func([]byte) { t.finishOp() }
+	t.storeDoneFn = t.finishOp
+}
+
+// finishOp retires the load/store in flight and schedules the next step.
+// It runs through the thread's once-bound loadDoneFn/storeDoneFn, so the
+// per-op completion cycle allocates nothing.
+func (t *Thread) finishOp() {
+	k := t.Proc.kern
+	t.UserOps++
+	t.UserCycles += uint64(k.Eng.Now()-t.opStart) + 1
+	k.Eng.Schedule(1, t.stepFn)
+}
+
 // storeData produces the deterministic payload for a store: a pattern
 // derived from the address and the thread's store sequence number, so
-// every write changes memory contents verifiably.
+// every write changes memory contents verifiably. The returned slice
+// aliases the thread's reused payload buffer; it is stable until the
+// store's done callback fires, which is exactly the window Core.Write
+// reads it in (threads issue at most one op at a time).
 func (t *Thread) storeData(op workload.Op) []byte {
 	t.storeSeq++
-	data := make([]byte, op.Size)
+	if cap(t.storeBuf) < int(op.Size) {
+		t.storeBuf = make([]byte, op.Size)
+	}
+	data := t.storeBuf[:op.Size]
 	var seedBuf [8]byte
 	binary.LittleEndian.PutUint64(seedBuf[:], op.Addr^t.storeSeq*0x9e3779b97f4a7c15)
 	for i := range data {

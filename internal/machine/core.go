@@ -24,6 +24,11 @@ type FaultHandler func(vaddr uint64, write bool) error
 
 // Core is one in-order simulated CPU. The kernel binds an address space,
 // fault handler, and optional observers before running code on it.
+//
+// The access path is closure-free: each in-flight Read/Write is tracked
+// by pooled continuation records (memOp/segOp/walkOp) whose callbacks are
+// method values bound once when the record is first created, so the
+// steady-state load/store path allocates nothing.
 type Core struct {
 	ID   int
 	mach *Machine
@@ -49,12 +54,23 @@ type Core struct {
 
 	storeCredits int
 	storeWaiters []func()
+	swHead       int // oldest waiting credit requester
+
+	// relCreditTok returns one store-buffer credit on L1 completion; the
+	// method value is materialized once here instead of per store.
+	relCreditTok sim.Done
+
+	// Continuation free lists. Records cycle between the pools and the
+	// in-flight sets; their bound callbacks are created at record birth.
+	opFree   []*memOp
+	segFree  []*segOp
+	walkFree []*walkOp
 
 	Counters *stats.Counters
 }
 
 func newCore(m *Machine, id int) *Core {
-	return &Core{
+	c := &Core{
 		ID:           id,
 		mach:         m,
 		eng:          m.Eng,
@@ -64,6 +80,111 @@ func newCore(m *Machine, id int) *Core {
 		storeCredits: m.Cfg.StoreBuffer,
 		Counters:     stats.NewCounters(),
 	}
+	c.relCreditTok = sim.Thunk(c.releaseStoreCredit)
+	return c
+}
+
+// memOp is one in-flight Read or Write: the shared buffer, the caller's
+// completion, and the count of line segments still outstanding.
+type memOp struct {
+	buf       []byte // read destination, reused across ops (see Read)
+	data      []byte // store payload (caller-owned, released on free)
+	readDone  func([]byte)
+	writeDone func()
+	remaining int
+}
+
+// segOp is one cache-line segment of a memOp, with its continuations
+// bound once at record birth: translatedFn resumes after address
+// translation, lineDoneTok after the L1 access, issueFn after a
+// store-hook stall, creditFn after a store-buffer credit is granted.
+type segOp struct {
+	core   *Core
+	op     *memOp
+	va     uint64
+	off, n int
+	write  bool
+	paddr  uint64
+
+	translatedFn func(uint64)
+	lineDoneTok  sim.Done
+	issueFn      func()
+	creditFn     func()
+}
+
+// walkOp is one hardware page walk: the dependent chain of table reads
+// plus the translation continuation that runs when it finishes.
+type walkKind uint8
+
+const (
+	walkTLBMiss walkKind = iota
+	walkDirtySet
+)
+
+type walkOp struct {
+	core  *Core
+	kind  walkKind
+	vaddr uint64
+	write bool
+	k     func(uint64)
+	entry *vm.TLBEntry // dirty-set walks: the hitting TLB entry
+	addrs [4]uint64
+	n, i  int
+	began sim.Time
+
+	stepFn sim.Done
+}
+
+func (c *Core) allocOp() *memOp {
+	if n := len(c.opFree); n > 0 {
+		op := c.opFree[n-1]
+		c.opFree = c.opFree[:n-1]
+		return op
+	}
+	return &memOp{}
+}
+
+func (c *Core) freeOp(op *memOp) {
+	op.data = nil
+	op.readDone = nil
+	op.writeDone = nil
+	c.opFree = append(c.opFree, op)
+}
+
+func (c *Core) allocSeg() *segOp {
+	if n := len(c.segFree); n > 0 {
+		s := c.segFree[n-1]
+		c.segFree = c.segFree[:n-1]
+		return s
+	}
+	s := &segOp{core: c}
+	s.translatedFn = s.translated
+	s.lineDoneTok = sim.Thunk(s.lineDone)
+	s.issueFn = s.issue
+	s.creditFn = s.credited
+	return s
+}
+
+func (c *Core) freeSeg(s *segOp) {
+	s.op = nil
+	c.segFree = append(c.segFree, s)
+}
+
+func (c *Core) allocWalk() *walkOp {
+	if n := len(c.walkFree); n > 0 {
+		w := c.walkFree[n-1]
+		c.walkFree = c.walkFree[:n-1]
+		return w
+	}
+	w := &walkOp{core: c}
+	w.stepFn = sim.Thunk(w.step)
+	return w
+}
+
+func (c *Core) freeWalk(w *walkOp) {
+	w.k = nil
+	w.entry = nil
+	c.walkFree = append(c.walkFree, w)
 }
 
 // L1 returns the core's private L1D (the Prosper tracker taps the port in
@@ -100,62 +221,83 @@ func (c *Core) translate(vaddr uint64, write bool, k func(paddr uint64)) {
 			// First store since the PTE's dirty bit was cleared: the page
 			// walker must set it in memory (this is what gives the
 			// Dirtybit tracking baseline its per-page cost).
-			c.walk(vaddr, func() {
-				pte := c.AS.PT.Lookup(vaddr)
-				if pte == nil || !pte.Present() {
-					c.fault(vaddr, write, k)
-					return
-				}
-				pte.Flags |= vm.FlagDirty | vm.FlagAccess
-				e.Dirty = true
-				c.Counters.Inc("core.dirty_set_walks")
-				k(e.Frame | (vaddr & (mem.PageSize - 1)))
-			})
+			w := c.allocWalk()
+			w.kind = walkDirtySet
+			w.vaddr, w.write, w.k, w.entry = vaddr, write, k, e
+			c.startWalk(w)
 			return
 		}
 		k(e.Frame | (vaddr & (mem.PageSize - 1)))
 		return
 	}
 	// TLB miss: hardware walk.
-	c.walk(vaddr, func() {
-		paddr, pte, ok := c.AS.PT.Translate(vaddr)
-		if !ok || (write && !pte.Writable()) {
+	w := c.allocWalk()
+	w.kind = walkTLBMiss
+	w.vaddr, w.write, w.k = vaddr, write, k
+	c.startWalk(w)
+}
+
+// startWalk issues the dependent chain of page-table reads through L2 and
+// records the end-to-end walk latency into the TLB's distribution.
+func (c *Core) startWalk(w *walkOp) {
+	c.Counters.Inc("core.page_walks")
+	w.n = c.AS.PT.WalkAddrsInto(w.vaddr, &w.addrs)
+	w.began = c.eng.Now()
+	w.i = 0
+	w.step()
+}
+
+func (w *walkOp) step() {
+	c := w.core
+	if w.i >= w.n {
+		c.TLB.WalkLatency.Observe(uint64(c.eng.Now() - w.began))
+		w.finish()
+		return
+	}
+	a := w.addrs[w.i]
+	w.i++
+	c.l2.Access(false, a, w.stepFn)
+}
+
+// finish completes the walk: it re-reads the page table functionally and
+// resumes the translation continuation (or faults). The walkOp is retired
+// before the continuation runs so it can be reused by walks the
+// continuation itself triggers.
+func (w *walkOp) finish() {
+	c := w.core
+	vaddr, write, k := w.vaddr, w.write, w.k
+	if w.kind == walkDirtySet {
+		e := w.entry
+		c.freeWalk(w)
+		pte := c.AS.PT.Lookup(vaddr)
+		if pte == nil || !pte.Present() {
 			c.fault(vaddr, write, k)
 			return
 		}
-		pte.Flags |= vm.FlagAccess
-		if write {
-			pte.Flags |= vm.FlagDirty
-		}
-		c.TLB.Insert(vaddr, paddr&^uint64(mem.PageSize-1), pte.Writable(), pte.Dirty())
-		k(paddr)
-	})
-}
-
-// walk issues the dependent chain of page-table reads through L2 and
-// records the end-to-end walk latency into the TLB's distribution.
-func (c *Core) walk(vaddr uint64, done func()) {
-	c.Counters.Inc("core.page_walks")
-	addrs := c.AS.PT.WalkAddrs(vaddr)
-	began := c.eng.Now()
-	i := 0
-	var step func()
-	step = func() {
-		if i >= len(addrs) {
-			c.TLB.WalkLatency.Observe(uint64(c.eng.Now() - began))
-			done()
-			return
-		}
-		a := addrs[i]
-		i++
-		c.l2.Access(false, a, step)
+		pte.Flags |= vm.FlagDirty | vm.FlagAccess
+		e.Dirty = true
+		c.Counters.Inc("core.dirty_set_walks")
+		k(e.Frame | (vaddr & (mem.PageSize - 1)))
+		return
 	}
-	step()
+	c.freeWalk(w)
+	paddr, pte, ok := c.AS.PT.Translate(vaddr)
+	if !ok || (write && !pte.Writable()) {
+		c.fault(vaddr, write, k)
+		return
+	}
+	pte.Flags |= vm.FlagAccess
+	if write {
+		pte.Flags |= vm.FlagDirty
+	}
+	c.TLB.Insert(vaddr, paddr&^uint64(mem.PageSize-1), pte.Writable(), pte.Dirty())
+	k(paddr)
 }
 
 // fault invokes the kernel fault handler, charges the fault cost, and
 // retries the translation. An unresolvable fault panics: simulated
-// workloads are not supposed to segfault.
+// workloads are not supposed to segfault. Faults are rare, so the retry
+// closure is the one place the translation path still allocates.
 func (c *Core) fault(vaddr uint64, write bool, k func(uint64)) {
 	c.Counters.Inc("core.page_faults")
 	if c.OnFault == nil {
@@ -172,27 +314,26 @@ func (c *Core) fault(vaddr uint64, write bool, k func(uint64)) {
 
 // Read performs a timed load of size bytes at vaddr; done receives the
 // data once the slowest line completes. Loads block the core (the kernel
-// run loop waits for done before issuing the next op).
+// run loop waits for done before issuing the next op), so the buffer
+// handed to done is only valid until the core issues its next load — it
+// is reused, not reallocated.
 func (c *Core) Read(vaddr uint64, size int, done func([]byte)) {
 	c.Counters.Inc("core.loads")
 	if c.Tracer != nil {
 		c.Tracer(false, vaddr, size)
 	}
-	buf := make([]byte, size)
-	lines := splitLines(vaddr, size)
-	remaining := len(lines)
-	for _, seg := range lines {
-		seg := seg
-		c.translate(seg.va, false, func(paddr uint64) {
-			c.mach.Storage.Read(paddr, buf[seg.off:seg.off+seg.n])
-			c.l1.Access(false, paddr, func() {
-				remaining--
-				if remaining == 0 && done != nil {
-					done(buf)
-				}
-			})
-		})
+	if size <= 0 {
+		return
 	}
+	op := c.allocOp()
+	op.readDone = done
+	if cap(op.buf) < size {
+		op.buf = make([]byte, size)
+	} else {
+		op.buf = op.buf[:size]
+	}
+	op.remaining = mem.LinesSpanned(vaddr, size)
+	c.issueSegs(op, vaddr, size, false)
 }
 
 // Write performs a store of data at vaddr. done fires when the store has
@@ -208,32 +349,93 @@ func (c *Core) Write(vaddr uint64, data []byte, done func()) {
 	if c.Observer != nil {
 		c.Observer.ObserveStore(vaddr, len(data))
 	}
-	lines := splitLines(vaddr, len(data))
-	remaining := len(lines)
-	for _, seg := range lines {
-		seg := seg
-		c.translate(seg.va, true, func(paddr uint64) {
-			c.mach.Storage.Write(paddr, data[seg.off:seg.off+seg.n])
-			var stall sim.Time
-			if c.StoreHook != nil {
-				stall = c.StoreHook(seg.va, paddr, seg.n)
-			}
-			issue := func() {
-				c.acquireStoreCredit(func() {
-					c.l1.Access(true, paddr, c.releaseStoreCredit)
-					remaining--
-					if remaining == 0 && done != nil {
-						done()
-					}
-				})
-			}
-			if stall > 0 {
-				c.Counters.Inc("core.store_hook_stalls")
-				c.eng.Schedule(stall, issue)
-			} else {
-				issue()
-			}
-		})
+	if len(data) == 0 {
+		return
+	}
+	op := c.allocOp()
+	op.data = data
+	op.writeDone = done
+	op.remaining = mem.LinesSpanned(vaddr, len(data))
+	c.issueSegs(op, vaddr, len(data), true)
+}
+
+// issueSegs cuts [vaddr, vaddr+size) at cache-line boundaries and starts
+// one segment record per line, in address order.
+func (c *Core) issueSegs(op *memOp, vaddr uint64, size int, write bool) {
+	off := 0
+	for size > 0 {
+		space := int(mem.LineSize - (vaddr & (mem.LineSize - 1)))
+		n := size
+		if n > space {
+			n = space
+		}
+		s := c.allocSeg()
+		s.op = op
+		s.va, s.off, s.n, s.write = vaddr, off, n, write
+		c.translate(vaddr, write, s.translatedFn)
+		vaddr += uint64(n)
+		off += n
+		size -= n
+	}
+}
+
+// translated resumes a segment once its physical address is known: the
+// functional data movement happens immediately, then the timed cache
+// access (reads) or the store pipeline (writes) takes over.
+func (s *segOp) translated(paddr uint64) {
+	c := s.core
+	if !s.write {
+		c.mach.Storage.Read(paddr, s.op.buf[s.off:s.off+s.n])
+		c.l1.Access(false, paddr, s.lineDoneTok)
+		return
+	}
+	c.mach.Storage.Write(paddr, s.op.data[s.off:s.off+s.n])
+	var stall sim.Time
+	if c.StoreHook != nil {
+		stall = c.StoreHook(s.va, paddr, s.n)
+	}
+	s.paddr = paddr
+	if stall > 0 {
+		c.Counters.Inc("core.store_hook_stalls")
+		c.eng.Schedule(stall, s.issueFn)
+	} else {
+		s.issue()
+	}
+}
+
+// lineDone retires one read segment at L1 completion.
+func (s *segOp) lineDone() {
+	c := s.core
+	op := s.op
+	c.freeSeg(s)
+	op.remaining--
+	if op.remaining == 0 {
+		if op.readDone != nil {
+			op.readDone(op.buf)
+		}
+		c.freeOp(op)
+	}
+}
+
+// issue enters a write segment into the store-credit queue.
+func (s *segOp) issue() {
+	s.core.acquireStoreCredit(s.creditFn)
+}
+
+// credited runs once the store buffer accepts the segment: the timed L1
+// write goes out carrying the credit-release token, and the segment
+// retires (program order continues at acceptance, not completion).
+func (s *segOp) credited() {
+	c := s.core
+	op := s.op
+	c.l1.Access(true, s.paddr, c.relCreditTok)
+	c.freeSeg(s)
+	op.remaining--
+	if op.remaining == 0 {
+		if op.writeDone != nil {
+			op.writeDone()
+		}
+		c.freeOp(op)
 	}
 }
 
@@ -248,9 +450,14 @@ func (c *Core) acquireStoreCredit(k func()) {
 }
 
 func (c *Core) releaseStoreCredit() {
-	if len(c.storeWaiters) > 0 {
-		k := c.storeWaiters[0]
-		c.storeWaiters = c.storeWaiters[1:]
+	if c.swHead < len(c.storeWaiters) {
+		k := c.storeWaiters[c.swHead]
+		c.storeWaiters[c.swHead] = nil
+		c.swHead++
+		if c.swHead == len(c.storeWaiters) {
+			c.storeWaiters = c.storeWaiters[:0]
+			c.swHead = 0
+		}
 		k()
 		return
 	}
@@ -260,36 +467,9 @@ func (c *Core) releaseStoreCredit() {
 // DrainStores calls done once every in-flight store has left the store
 // buffer (a store fence, used around checkpoints and context switches).
 func (c *Core) DrainStores(done func()) {
-	if c.storeCredits == c.mach.Cfg.StoreBuffer && len(c.storeWaiters) == 0 {
+	if c.storeCredits == c.mach.Cfg.StoreBuffer && c.swHead == len(c.storeWaiters) {
 		c.eng.Schedule(0, done)
 		return
 	}
 	c.eng.Schedule(20, func() { c.DrainStores(done) })
-}
-
-type lineSeg struct {
-	va  uint64
-	off int
-	n   int
-}
-
-// splitLines cuts [vaddr, vaddr+size) at cache-line boundaries.
-func splitLines(vaddr uint64, size int) []lineSeg {
-	if size <= 0 {
-		return nil
-	}
-	segs := make([]lineSeg, 0, mem.LinesSpanned(vaddr, size))
-	off := 0
-	for size > 0 {
-		space := int(mem.LineSize - (vaddr & (mem.LineSize - 1)))
-		n := size
-		if n > space {
-			n = space
-		}
-		segs = append(segs, lineSeg{va: vaddr, off: off, n: n})
-		vaddr += uint64(n)
-		off += n
-		size -= n
-	}
-	return segs
 }

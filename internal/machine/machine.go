@@ -67,6 +67,11 @@ type Machine struct {
 	DRAMFrames *mem.FrameAllocator
 	NVMFrames  *mem.FrameAllocator
 
+	// Pooled continuation records for the physical copy/write/read
+	// engines; their callbacks are bound once at record birth.
+	copyFree []*copyOp
+	fanFree  []*fanOp
+
 	Counters *stats.Counters
 }
 
@@ -85,7 +90,7 @@ func New(cfg Config) *Machine {
 		Storage: storage,
 		Domain:  mem.NewDomain(storage, cfg.ADR),
 		Ctl:     ctl,
-		Hier:    cache.NewHierarchy(eng, cfg.Cores, cache.PortFunc(ctl.Access)),
+		Hier:    cache.NewHierarchy(eng, cfg.Cores, ctl),
 		// DRAM frames cover the whole device. The NVM frame pool covers
 		// only the upper half: the lower half is reserved for the
 		// kernel's checkpoint areas (superblock-managed; see
@@ -131,6 +136,76 @@ func (m *Machine) PersistNVM(addr, size uint64) {
 	m.Domain.Persist(addr, size)
 }
 
+// copyOp is one in-flight CopyPhys: a windowed pipeline of line reads
+// each followed by a line write, with the line index threaded through the
+// completion tokens instead of captured closures.
+type copyOp struct {
+	m                *Machine
+	srcLine, dstLine uint64
+	lines            int
+	window           int
+	issued           int
+	completed        int
+	inFlight         int
+	persistBase      uint64
+	persistLen       uint64
+	done             func()
+
+	srcDoneFn func(uint64)
+	dstDoneFn func(uint64)
+}
+
+func (m *Machine) allocCopy() *copyOp {
+	if n := len(m.copyFree); n > 0 {
+		op := m.copyFree[n-1]
+		m.copyFree = m.copyFree[:n-1]
+		return op
+	}
+	op := &copyOp{m: m}
+	op.srcDoneFn = op.srcDone
+	op.dstDoneFn = op.dstDone
+	return op
+}
+
+func (m *Machine) freeCopy(op *copyOp) {
+	op.done = nil
+	m.copyFree = append(m.copyFree, op)
+}
+
+func (op *copyOp) pump() {
+	for op.inFlight < op.window && op.issued < op.lines {
+		i := uint64(op.issued)
+		op.issued++
+		op.inFlight++
+		op.m.Ctl.Access(false, op.srcLine+i*mem.LineSize, sim.Bind(op.srcDoneFn, i))
+	}
+}
+
+func (op *copyOp) srcDone(i uint64) {
+	op.m.Ctl.Access(true, op.dstLine+i*mem.LineSize, sim.Bind(op.dstDoneFn, i))
+}
+
+func (op *copyOp) dstDone(uint64) {
+	op.inFlight--
+	op.completed++
+	if op.completed == op.lines {
+		m := op.m
+		// The line count is derived from the source alignment; when src
+		// and dst straddle lines differently the last destination line
+		// gets no timed write of its own, so promote the exact copied
+		// range now that the engine is done — mid-copy crashes still
+		// tear at line boundaries.
+		m.Domain.Persist(op.persistBase, op.persistLen)
+		done := op.done
+		m.freeCopy(op)
+		if done != nil {
+			done()
+		}
+		return
+	}
+	op.pump()
+}
+
 // CopyPhys performs a timed, pipelined physical-memory copy of n bytes
 // from src to dst at cache-line granularity, bypassing the caches (a
 // streaming kernel copy with non-temporal semantics). The functional copy
@@ -147,41 +222,62 @@ func (m *Machine) CopyPhys(dst, src uint64, n int, done func()) {
 	m.Storage.Copy(dst, src, n)
 	m.Counters.Add("machine.copy_bytes", uint64(n))
 
-	lines := mem.LinesSpanned(src, n)
-	window := m.Cfg.CopyWindow
-	issued, completed := 0, 0
-	var pump func()
-	inFlight := 0
-	pump = func() {
-		for inFlight < window && issued < lines {
-			i := issued
-			issued++
-			inFlight++
-			srcLine := mem.LineOf(src) + uint64(i)*mem.LineSize
-			dstLine := mem.LineOf(dst) + uint64(i)*mem.LineSize
-			m.Ctl.Access(false, srcLine, func() {
-				m.Ctl.Access(true, dstLine, func() {
-					inFlight--
-					completed++
-					if completed == lines {
-						// The line count is derived from the source
-						// alignment; when src and dst straddle lines
-						// differently the last destination line gets no
-						// timed write of its own, so promote the exact
-						// copied range now that the engine is done —
-						// mid-copy crashes still tear at line boundaries.
-						m.Domain.Persist(dst, uint64(n))
-						if done != nil {
-							done()
-						}
-						return
-					}
-					pump()
-				})
-			})
-		}
+	op := m.allocCopy()
+	op.srcLine = mem.LineOf(src)
+	op.dstLine = mem.LineOf(dst)
+	op.lines = mem.LinesSpanned(src, n)
+	op.window = m.Cfg.CopyWindow
+	op.issued, op.completed, op.inFlight = 0, 0, 0
+	op.persistBase, op.persistLen = dst, uint64(n)
+	op.done = done
+	op.pump()
+}
+
+// fanOp joins a fan-out of line accesses back into one completion; one
+// record (and one bound method value, at birth) replaces the per-line
+// closures WritePhys/ReadPhys used to allocate.
+type fanOp struct {
+	m         *Machine
+	remaining int
+	done      func()
+	readDone  func([]byte)
+	buf       []byte
+
+	lineDoneTok sim.Done
+}
+
+func (m *Machine) allocFan() *fanOp {
+	if n := len(m.fanFree); n > 0 {
+		f := m.fanFree[n-1]
+		m.fanFree = m.fanFree[:n-1]
+		return f
 	}
-	pump()
+	f := &fanOp{m: m}
+	f.lineDoneTok = sim.Thunk(f.lineDone)
+	return f
+}
+
+func (m *Machine) freeFan(f *fanOp) {
+	f.done = nil
+	f.readDone = nil
+	f.buf = nil
+	m.fanFree = append(m.fanFree, f)
+}
+
+func (f *fanOp) lineDone() {
+	f.remaining--
+	if f.remaining != 0 {
+		return
+	}
+	m := f.m
+	done, readDone, buf := f.done, f.readDone, f.buf
+	m.freeFan(f)
+	if done != nil {
+		done()
+	}
+	if readDone != nil {
+		readDone(buf)
+	}
 }
 
 // WritePhys performs a timed write of data to physical addr through the
@@ -196,14 +292,11 @@ func (m *Machine) WritePhys(addr uint64, data []byte, done func()) {
 		}
 		return
 	}
-	remaining := lines
+	f := m.allocFan()
+	f.remaining = lines
+	f.done = done
 	for i := 0; i < lines; i++ {
-		m.Ctl.Access(true, mem.LineOf(addr)+uint64(i)*mem.LineSize, func() {
-			remaining--
-			if remaining == 0 && done != nil {
-				done()
-			}
-		})
+		m.Ctl.Access(true, mem.LineOf(addr)+uint64(i)*mem.LineSize, f.lineDoneTok)
 	}
 }
 
@@ -219,13 +312,11 @@ func (m *Machine) ReadPhys(addr uint64, n int, done func([]byte)) {
 		}
 		return
 	}
-	remaining := lines
+	f := m.allocFan()
+	f.remaining = lines
+	f.readDone = done
+	f.buf = buf
 	for i := 0; i < lines; i++ {
-		m.Ctl.Access(false, mem.LineOf(addr)+uint64(i)*mem.LineSize, func() {
-			remaining--
-			if remaining == 0 && done != nil {
-				done(buf)
-			}
-		})
+		m.Ctl.Access(false, mem.LineOf(addr)+uint64(i)*mem.LineSize, f.lineDoneTok)
 	}
 }

@@ -183,17 +183,43 @@ func TestCrossLineWriteSplits(t *testing.T) {
 	}
 }
 
-func TestSplitLines(t *testing.T) {
-	segs := splitLines(60, 10)
-	if len(segs) != 2 || segs[0].n != 4 || segs[1].n != 6 || segs[1].va != 64 || segs[1].off != 4 {
+func TestSegmentationAtLineBoundaries(t *testing.T) {
+	m, core, _ := testEnv(t)
+	type seg struct {
+		va uint64
+		n  int
+	}
+	var segs []seg
+
+	// Pre-touch the page so the segments below translate via TLB hits;
+	// a cold first touch faults on the leading segment and reorders it
+	// behind the trailing one (fault retry costs PageFaultCycles).
+	core.Write(0x10000, []byte{0}, nil)
+	m.Eng.Run()
+
+	core.StoreHook = func(va, _ uint64, n int) sim.Time {
+		segs = append(segs, seg{va, n})
+		return 0
+	}
+
+	core.Write(0x10000+60, make([]byte, 10), nil)
+	m.Eng.Run()
+	if len(segs) != 2 || segs[0].n != 4 || segs[1].n != 6 || segs[1].va != 0x10000+64 {
 		t.Fatalf("segs = %+v", segs)
 	}
-	if splitLines(0, 0) != nil {
-		t.Fatal("empty split should be nil")
+
+	segs = nil
+	core.Write(0x10000+64, make([]byte, 64), nil)
+	m.Eng.Run()
+	if len(segs) != 1 || segs[0].n != 64 {
+		t.Fatalf("aligned full line segs = %+v", segs)
 	}
-	one := splitLines(64, 64)
-	if len(one) != 1 {
-		t.Fatalf("aligned full line split = %+v", one)
+
+	segs = nil
+	core.Write(0x10000, nil, nil)
+	m.Eng.Run()
+	if segs != nil {
+		t.Fatalf("empty write produced segs = %+v", segs)
 	}
 }
 

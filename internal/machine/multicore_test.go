@@ -61,7 +61,7 @@ func TestTwoCoresContendOnDRAM(t *testing.T) {
 		if withNoise {
 			// Core 1 floods DRAM with independent line reads.
 			for i := 0; i < 2000; i++ {
-				m.Ctl.DRAM.Access(false, uint64(0x100_0000+i*mem.LineSize), nil)
+				m.Ctl.DRAM.Access(false, uint64(0x100_0000+i*mem.LineSize), sim.Done{})
 			}
 			_ = c1
 		}

@@ -66,8 +66,22 @@ func PCMConfig() DeviceConfig {
 type pendingAccess struct {
 	write   bool
 	addr    uint64
-	done    func()
+	done    sim.Done
 	arrived sim.Time // when the request reached the device (Access time)
+}
+
+// devCompletion is one access whose device latency has been computed and
+// whose completion bookkeeping is waiting to run.
+type devCompletion struct {
+	write bool
+	addr  uint64
+	done  sim.Done
+}
+
+// completionBatch collects completions that fire in the same event. Its
+// items backing is reused across lives via the device free list.
+type completionBatch struct {
+	items []devCompletion
 }
 
 // PersistSink observes a device's write stream so a persistence domain
@@ -84,6 +98,14 @@ type PersistSink interface {
 // Device is the timing model of one memory device. It services accesses
 // through banked queues with a shared channel bus and optional per-class
 // buffer backpressure. Function (data movement) lives in Storage, not here.
+//
+// Completions are batched: a burst of accesses finishing on the same
+// cycle schedules one engine event, not one per access. The batch is
+// provably order-safe — a completion merges into the open batch only
+// when the engine's schedule sequence has not advanced since the batch's
+// previous member was added, which guarantees no other event could have
+// ordered between them (seq is the same-cycle tiebreaker and every
+// schedule consumes exactly one).
 type Device struct {
 	eng *sim.Engine
 	cfg DeviceConfig
@@ -94,7 +116,15 @@ type Device struct {
 	inflightReads  int
 	inflightWrites int
 	waiting        []pendingAccess
+	waitHead       int // index of the oldest waiter (popped without reslicing)
 	sink           PersistSink
+
+	batches    []*completionBatch
+	batchFree  []int        // indices of retired batches
+	completeFn func(uint64) // d.complete, materialized once
+	openBatch  int          // batch still legal to merge into; -1 when none
+	openFinish sim.Time     // the open batch's completion cycle
+	openSeq    uint64       // engine seq right after the open batch was scheduled
 
 	Counters   *stats.Counters
 	Histograms *stats.Histograms
@@ -124,9 +154,11 @@ func NewDevice(eng *sim.Engine, cfg DeviceConfig) *Device {
 		eng:        eng,
 		cfg:        cfg,
 		bankFreeAt: make([]sim.Time, cfg.Banks),
+		openBatch:  -1,
 		Counters:   stats.NewCounters(),
 		Histograms: stats.NewHistograms(),
 	}
+	d.completeFn = d.complete
 	d.cReads = d.Counters.Handle(cfg.Name + ".reads")
 	d.cWrites = d.Counters.Handle(cfg.Name + ".writes")
 	d.cBufferStalls = d.Counters.Handle(cfg.Name + ".buffer_stalls")
@@ -147,7 +179,7 @@ func (d *Device) SetPersistSink(s PersistSink) { d.sink = s }
 
 // Access requests one line-sized access at addr; done fires when the
 // device completes it. Writes may be delayed by write-buffer backpressure.
-func (d *Device) Access(write bool, addr uint64, done func()) {
+func (d *Device) Access(write bool, addr uint64, done sim.Done) {
 	p := pendingAccess{write: write, addr: addr, done: done, arrived: d.eng.Now()}
 	if d.admissible(write) {
 		d.start(p)
@@ -198,23 +230,67 @@ func (d *Device) start(p pendingAccess) {
 	} else {
 		d.hReadLatency.Observe(uint64(finish - p.arrived))
 	}
-	write := p.write
-	addr := p.addr
-	done := p.done
-	d.eng.At(finish, func() {
-		if write {
+	d.enqueueCompletion(finish, devCompletion{write: p.write, addr: p.addr, done: p.done})
+}
+
+// enqueueCompletion schedules c's completion bookkeeping for cycle
+// finish, merging into the open batch when that is provably
+// order-equivalent: same completion cycle and no engine scheduling since
+// the batch's last member, so no event exists (or can exist) that would
+// have ordered between them.
+func (d *Device) enqueueCompletion(finish sim.Time, c devCompletion) {
+	if d.openBatch >= 0 && d.openFinish == finish && d.eng.ScheduleSeq() == d.openSeq {
+		b := d.batches[d.openBatch]
+		b.items = append(b.items, c)
+		return
+	}
+	idx := d.allocBatch()
+	d.batches[idx].items = append(d.batches[idx].items, c)
+	d.eng.AtDone(finish, sim.Bind(d.completeFn, uint64(idx)))
+	d.openBatch = idx
+	d.openFinish = finish
+	d.openSeq = d.eng.ScheduleSeq()
+}
+
+func (d *Device) allocBatch() int {
+	if n := len(d.batchFree); n > 0 {
+		idx := d.batchFree[n-1]
+		d.batchFree = d.batchFree[:n-1]
+		return idx
+	}
+	d.batches = append(d.batches, &completionBatch{})
+	return len(d.batches) - 1
+}
+
+// complete runs one batch's completions in admission order, each with the
+// same bookkeeping the per-access completion event used to perform.
+func (d *Device) complete(bi uint64) {
+	idx := int(bi)
+	// Close the batch before running callbacks: a firing batch must not
+	// accept further merges (its event has already been consumed).
+	if d.openBatch == idx {
+		d.openBatch = -1
+	}
+	b := d.batches[idx]
+	items := b.items
+	for i := range items {
+		c := items[i]
+		if c.write {
 			d.inflightWrites--
 			if d.sink != nil {
-				d.sink.WriteCompleted(addr)
+				d.sink.WriteCompleted(c.addr)
 			}
 		} else {
 			d.inflightReads--
 		}
 		d.drainWaiting()
-		if done != nil {
-			done()
-		}
-	})
+		c.done.Run()
+	}
+	for i := range items {
+		items[i] = devCompletion{}
+	}
+	b.items = items[:0]
+	d.batchFree = append(d.batchFree, idx)
 }
 
 // ReadQueueDepth returns the read-class queue occupancy right now:
@@ -222,7 +298,7 @@ func (d *Device) start(p pendingAccess) {
 // Telemetry samples it on a sim-time cadence.
 func (d *Device) ReadQueueDepth() int {
 	n := d.inflightReads
-	for _, p := range d.waiting {
+	for _, p := range d.waiting[d.waitHead:] {
 		if !p.write {
 			n++
 		}
@@ -235,7 +311,7 @@ func (d *Device) ReadQueueDepth() int {
 // it against cfg.WriteBuffer shows NVM write-buffer saturation directly.
 func (d *Device) WriteQueueDepth() int {
 	n := d.inflightWrites
-	for _, p := range d.waiting {
+	for _, p := range d.waiting[d.waitHead:] {
 		if p.write {
 			n++
 		}
@@ -259,13 +335,18 @@ func (d *Device) EstimatedWait() sim.Time {
 	if b := d.busFreeAt - now; b > wait {
 		wait = b
 	}
-	return wait + sim.Time(len(d.waiting))*d.cfg.BusPerAccess
+	return wait + sim.Time(len(d.waiting)-d.waitHead)*d.cfg.BusPerAccess
 }
 
 func (d *Device) drainWaiting() {
-	for len(d.waiting) > 0 && d.admissible(d.waiting[0].write) {
-		p := d.waiting[0]
-		d.waiting = d.waiting[1:]
+	for d.waitHead < len(d.waiting) && d.admissible(d.waiting[d.waitHead].write) {
+		p := d.waiting[d.waitHead]
+		d.waiting[d.waitHead] = pendingAccess{}
+		d.waitHead++
+		if d.waitHead == len(d.waiting) {
+			d.waiting = d.waiting[:0]
+			d.waitHead = 0
+		}
 		d.start(p)
 	}
 }
@@ -287,7 +368,7 @@ func NewController(eng *sim.Engine) *Controller {
 }
 
 // Access routes one line access at physical address addr.
-func (c *Controller) Access(write bool, addr uint64, done func()) {
+func (c *Controller) Access(write bool, addr uint64, done sim.Done) {
 	if IsNVM(addr) {
 		c.NVM.Access(write, addr, done)
 		return

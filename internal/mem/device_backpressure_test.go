@@ -48,10 +48,10 @@ func TestDeviceBackpressureTable(t *testing.T) {
 			d := NewDevice(eng, tc.cfg)
 			completed := 0
 			for i := 0; i < tc.reads; i++ {
-				d.Access(false, uint64(i)*LineSize, func() { completed++ })
+				d.Access(false, uint64(i)*LineSize, sim.Thunk(func() { completed++ }))
 			}
 			for i := 0; i < tc.writes; i++ {
-				d.Access(true, uint64(tc.reads+i)*LineSize, func() { completed++ })
+				d.Access(true, uint64(tc.reads+i)*LineSize, sim.Thunk(func() { completed++ }))
 			}
 
 			if got := d.Counters.Get(tc.cfg.Name + ".buffer_stalls"); got != tc.wantStalls {
@@ -91,7 +91,7 @@ func TestEstimatedWaitTracksBacklog(t *testing.T) {
 		eng := sim.NewEngine()
 		d := NewDevice(eng, PCMConfig())
 		for i := 0; i < n; i++ {
-			d.Access(true, NVMBase+uint64(i)*LineSize, nil)
+			d.Access(true, NVMBase+uint64(i)*LineSize, sim.Done{})
 		}
 		return d.EstimatedWait()
 	}
@@ -112,7 +112,7 @@ func TestBackpressureDrainOrder(t *testing.T) {
 	var order []int
 	for i := 0; i < 6; i++ {
 		i := i
-		d.Access(true, uint64(i)*LineSize, func() { order = append(order, i) })
+		d.Access(true, uint64(i)*LineSize, sim.Thunk(func() { order = append(order, i) }))
 	}
 	eng.Run()
 	if len(order) != 6 {
@@ -135,8 +135,8 @@ func TestDeviceLatencyHistograms(t *testing.T) {
 		Banks: 2, BankBusyRead: 80, BankBusyWrite: 80,
 	})
 	// Two reads to the same bank: the second waits out the bank busy time.
-	d.Access(false, 0, nil)
-	d.Access(false, uint64(2*LineSize), nil) // same bank (banks=2)
+	d.Access(false, 0, sim.Done{})
+	d.Access(false, uint64(2*LineSize), sim.Done{}) // same bank (banks=2)
 	eng.Run()
 
 	rw := d.Histograms.Get("read_wait")
@@ -152,7 +152,7 @@ func TestDeviceLatencyHistograms(t *testing.T) {
 	if rl.Min() != 100 || rl.Max() != 180 {
 		t.Fatalf("read_latency min/max = %d/%d, want 100/180", rl.Min(), rl.Max())
 	}
-	d.Access(true, uint64(LineSize), nil) // other bank, uncontended write
+	d.Access(true, uint64(LineSize), sim.Done{}) // other bank, uncontended write
 	eng.Run()
 	wl := d.Histograms.Get("write_latency")
 	if wl.Count() != 1 || wl.Min() != 200 {

@@ -1,0 +1,77 @@
+package mem
+
+import (
+	"reflect"
+	"testing"
+
+	"prosper/internal/sim"
+)
+
+// TestDeviceCompletionBatching pins the device's completion batching: a
+// burst of accesses that provably finish on the same cycle with no
+// intervening scheduling must consume one engine event, complete in
+// admission order, and recycle its batch record.
+func TestDeviceCompletionBatching(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDevice(eng, DeviceConfig{
+		Name:        "batch",
+		ReadLatency: 50,
+		Banks:       4,
+	})
+
+	run := func(n int) []int {
+		var order []int
+		for i := 0; i < n; i++ {
+			i := i
+			d.Access(false, uint64(i)<<LineShift, sim.Thunk(func() {
+				order = append(order, i)
+			}))
+		}
+		eng.Run()
+		return order
+	}
+
+	before := eng.Fired()
+	if order := run(4); !reflect.DeepEqual(order, []int{0, 1, 2, 3}) {
+		t.Fatalf("batched completions ran out of admission order: %v", order)
+	}
+	if fired := eng.Fired() - before; fired != 1 {
+		t.Fatalf("4 same-cycle completions fired %d events, want 1 batched event", fired)
+	}
+
+	// A second burst must reuse the freed batch record, not grow the pool.
+	batches := len(d.batches)
+	if order := run(3); !reflect.DeepEqual(order, []int{0, 1, 2}) {
+		t.Fatalf("second burst out of order: %v", order)
+	}
+	if len(d.batches) != batches {
+		t.Fatalf("batch pool grew from %d to %d across bursts", batches, len(d.batches))
+	}
+}
+
+// TestDeviceCompletionNoFalseMerge drives two accesses whose finish
+// cycles differ (same bank, nonzero bank occupancy): they must NOT share
+// a batch, and each must complete at its own cycle.
+func TestDeviceCompletionNoFalseMerge(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDevice(eng, DeviceConfig{
+		Name:         "nomerge",
+		ReadLatency:  50,
+		Banks:        1,
+		BankBusyRead: 10,
+	})
+
+	var at []sim.Time
+	done := sim.Thunk(func() { at = append(at, eng.Now()) })
+	before := eng.Fired()
+	d.Access(false, 0, done)
+	d.Access(false, 1<<LineShift, done)
+	eng.Run()
+
+	if want := []sim.Time{50, 60}; !reflect.DeepEqual(at, want) {
+		t.Fatalf("completion cycles = %v, want %v", at, want)
+	}
+	if fired := eng.Fired() - before; fired != 2 {
+		t.Fatalf("staggered completions fired %d events, want 2", fired)
+	}
+}

@@ -39,6 +39,10 @@ type Domain struct {
 	adr     bool
 
 	pending map[uint64][]lineSnap // line base -> FIFO of admitted snapshots
+	// snapPool recycles drained FIFO backings: the common case is one
+	// in-flight write per line, so without the pool every first admission
+	// of a line allocates a fresh single-snapshot slice.
+	snapPool [][]lineSnap
 	// stale counts completion events that will still fire for writes
 	// whose snapshots a Crash already discarded (the in-place crash path
 	// keeps the engine alive); they must not consume post-crash entries.
@@ -73,7 +77,14 @@ func (d *Domain) WriteAdmitted(addr uint64) {
 	line := LineOf(addr)
 	var snap lineSnap
 	d.live.Read(line, snap[:])
-	d.pending[line] = append(d.pending[line], snap)
+	q, ok := d.pending[line]
+	if !ok {
+		if n := len(d.snapPool); n > 0 {
+			q = d.snapPool[n-1]
+			d.snapPool = d.snapPool[:n-1]
+		}
+	}
+	d.pending[line] = append(q, snap)
 }
 
 // WriteCompleted implements PersistSink: the oldest in-flight write of
@@ -99,6 +110,7 @@ func (d *Domain) WriteCompleted(addr uint64) {
 	d.durable.Write(line, q[0][:])
 	if len(q) == 1 {
 		delete(d.pending, line)
+		d.snapPool = append(d.snapPool, q[:0])
 	} else {
 		d.pending[line] = q[1:]
 	}

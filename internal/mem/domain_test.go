@@ -23,7 +23,7 @@ func domainRig(adr bool) (*sim.Engine, *Storage, *Domain, *Device) {
 func TestDomainLineDurability(t *testing.T) {
 	eng, st, dom, dev := domainRig(false)
 	st.WriteU64(NVMBase, 0xAABB)
-	dev.Access(true, NVMBase, nil)
+	dev.Access(true, NVMBase, sim.Done{})
 	if got := dom.CrashImage().ReadU64(NVMBase); got != 0 {
 		t.Fatalf("in-flight write already durable: %#x", got)
 	}
@@ -46,7 +46,7 @@ func TestDomainADRDrain(t *testing.T) {
 		_, st, dom, dev := domainRig(adr)
 		st.WriteU64(NVMBase, 0x11)          // admitted to the device
 		st.WriteU64(NVMBase+LineSize, 0x22) // functional only, never issued
-		dev.Access(true, NVMBase, nil)
+		dev.Access(true, NVMBase, sim.Done{})
 
 		img := dom.CrashImage()
 		admitted, cached := img.ReadU64(NVMBase), img.ReadU64(NVMBase+LineSize)
@@ -72,8 +72,8 @@ func TestDomainLineTearing(t *testing.T) {
 		st.WriteU64(lineA+off, 0xA0A0)
 		st.WriteU64(lineB+off, 0xB0B0)
 	}
-	dev.Access(true, lineA, nil)
-	dev.Access(true, lineB, nil)
+	dev.Access(true, lineA, sim.Done{})
+	dev.Access(true, lineB, sim.Done{})
 	// Different banks, bus-staggered starts: A completes at 1500, B at
 	// 1520. Crash between the two.
 	eng.RunUntil(1510)
@@ -93,9 +93,9 @@ func TestDomainLineTearing(t *testing.T) {
 func TestDomainPerLineFIFO(t *testing.T) {
 	eng, st, dom, dev := domainRig(false)
 	st.WriteU64(NVMBase, 1)
-	dev.Access(true, NVMBase, nil)
+	dev.Access(true, NVMBase, sim.Done{})
 	st.WriteU64(NVMBase, 2)
-	dev.Access(true, NVMBase, nil)
+	dev.Access(true, NVMBase, sim.Done{})
 	// Same bank: first write completes at 1500, second at 900+1500.
 	eng.RunUntil(2000)
 	if got := dom.CrashImage().ReadU64(NVMBase); got != 1 {
@@ -129,7 +129,7 @@ func TestDomainPersistMetadata(t *testing.T) {
 func TestDomainCrashImagePure(t *testing.T) {
 	eng, st, dom, dev := domainRig(false)
 	st.WriteU64(NVMBase, 0x77)
-	dev.Access(true, NVMBase, nil)
+	dev.Access(true, NVMBase, sim.Done{})
 	img := dom.CrashImage()
 	img.WriteU64(NVMBase, 0xDEAD) // scribbling on the image is harmless
 	if dom.PendingLines() != 1 {
@@ -150,7 +150,7 @@ func TestDomainCrashImagePure(t *testing.T) {
 func TestDomainCrashInPlaceStaleCompletions(t *testing.T) {
 	eng, st, dom, dev := domainRig(false)
 	st.WriteU64(NVMBase, 0xA1)
-	dev.Access(true, NVMBase, nil)
+	dev.Access(true, NVMBase, sim.Done{})
 	eng.RunUntil(100) // crash with the write still in flight
 	dom.Crash()
 	if got := st.ReadU64(NVMBase); got != 0 {
@@ -159,7 +159,7 @@ func TestDomainCrashInPlaceStaleCompletions(t *testing.T) {
 	// The rebooted software writes the line again; the stale completion
 	// event from before the crash fires first and must be ignored.
 	st.WriteU64(NVMBase, 0xB2)
-	dev.Access(true, NVMBase, nil)
+	dev.Access(true, NVMBase, sim.Done{})
 	eng.Run()
 	if got := dom.CrashImage().ReadU64(NVMBase); got != 0xB2 {
 		t.Fatalf("durable value after reboot = %#x, want 0xB2", got)

@@ -143,8 +143,8 @@ func TestDeviceLatencyOrdering(t *testing.T) {
 	eng := sim.NewEngine()
 	d := NewDevice(eng, DDR4Config())
 	var readDone, writeDone sim.Time
-	d.Access(false, 0x1000, func() { readDone = eng.Now() })
-	d.Access(true, NVMBase, func() { writeDone = eng.Now() })
+	d.Access(false, 0x1000, sim.Thunk(func() { readDone = eng.Now() }))
+	d.Access(true, NVMBase, sim.Thunk(func() { writeDone = eng.Now() }))
 	eng.Run()
 	if readDone < 135 {
 		t.Fatalf("read completed too early: %d", readDone)
@@ -156,8 +156,8 @@ func TestNVMWriteSlowerThanDRAM(t *testing.T) {
 	eng := sim.NewEngine()
 	c := NewController(eng)
 	var dramT, nvmT sim.Time
-	c.Access(true, 0x1000, func() { dramT = eng.Now() })
-	c.Access(true, NVMBase+0x1000, func() { nvmT = eng.Now() })
+	c.Access(true, 0x1000, sim.Thunk(func() { dramT = eng.Now() }))
+	c.Access(true, NVMBase+0x1000, sim.Thunk(func() { nvmT = eng.Now() }))
 	eng.Run()
 	if nvmT <= dramT*2 {
 		t.Fatalf("NVM write (%d) should be much slower than DRAM write (%d)", nvmT, dramT)
@@ -171,11 +171,11 @@ func TestDeviceBandwidthBacklog(t *testing.T) {
 	var last sim.Time
 	for i := 0; i < n; i++ {
 		addr := uint64(i) * LineSize
-		d.Access(false, addr, func() {
+		d.Access(false, addr, sim.Thunk(func() {
 			if eng.Now() > last {
 				last = eng.Now()
 			}
-		})
+		}))
 	}
 	eng.Run()
 	// 1000 line reads at 10 cycles bus occupancy each cannot finish faster
@@ -195,7 +195,7 @@ func TestNVMWriteBufferBackpressure(t *testing.T) {
 	const n = 200 // far more than the 48-entry write buffer
 	completed := 0
 	for i := 0; i < n; i++ {
-		d.Access(true, uint64(i)*LineSize, func() { completed++ })
+		d.Access(true, uint64(i)*LineSize, sim.Thunk(func() { completed++ }))
 	}
 	if got := d.Counters.Get("nvm.buffer_stalls"); got == 0 {
 		t.Fatal("expected write-buffer stalls")
@@ -210,10 +210,10 @@ func TestDeviceCounters(t *testing.T) {
 	eng := sim.NewEngine()
 	d := NewDevice(eng, DDR4Config())
 	for i := 0; i < 5; i++ {
-		d.Access(false, 0, nil)
+		d.Access(false, 0, sim.Done{})
 	}
 	for i := 0; i < 3; i++ {
-		d.Access(true, 0, nil)
+		d.Access(true, 0, sim.Done{})
 	}
 	eng.Run()
 	if d.Counters.Get("dram.reads") != 5 || d.Counters.Get("dram.writes") != 3 {

@@ -88,7 +88,7 @@ func TestSSPCongestionStretchesStall(t *testing.T) {
 	idle := mech.OnStore(core, segLo, 0, 8)
 	// Flood the NVM with writes, then measure a fresh line's stall.
 	for i := 0; i < 200; i++ {
-		env.Mach.Ctl.Access(true, mem.NVMBase+uint64(i)*mem.LineSize, nil)
+		env.Mach.Ctl.Access(true, mem.NVMBase+uint64(i)*mem.LineSize, sim.Done{})
 	}
 	busy := mech.OnStore(core, segLo+mem.PageSize, 0, 8)
 	if busy <= idle {

@@ -344,34 +344,64 @@ func (b *base) applyAsync(seq, count, total uint64, dataBase uint64, extents []e
 	}
 }
 
+// lineGather pipelines timed reads of scattered line addresses through a
+// fixed window; one record and one bound completion token replace the
+// per-line closures (checkpoints gather thousands of lines).
+type lineGather struct {
+	m         *machine.Machine
+	lines     []uint64
+	issued    int
+	completed int
+	inFlight  int
+	done      func()
+	tok       sim.Done
+}
+
 // readPhysLines issues pipelined timed reads of the given line addresses
 // (used to charge scattered source gathers).
 func readPhysLines(m *machine.Machine, lines []uint64, done func()) {
-	n := len(lines)
-	if n == 0 {
+	if len(lines) == 0 {
 		m.Eng.Schedule(0, done)
 		return
 	}
+	g := &lineGather{m: m, lines: lines, done: done}
+	g.tok = sim.Thunk(g.lineDone)
+	g.pump()
+}
+
+func (g *lineGather) pump() {
 	const window = 16
-	issued, completed, inFlight := 0, 0, 0
-	var pump func()
-	pump = func() {
-		for inFlight < window && issued < n {
-			addr := lines[issued]
-			issued++
-			inFlight++
-			m.Ctl.Access(false, addr, func() {
-				inFlight--
-				completed++
-				if completed == n {
-					done()
-					return
-				}
-				pump()
-			})
-		}
+	for g.inFlight < window && g.issued < len(g.lines) {
+		addr := g.lines[g.issued]
+		g.issued++
+		g.inFlight++
+		g.m.Ctl.Access(false, addr, g.tok)
 	}
-	pump()
+}
+
+func (g *lineGather) lineDone() {
+	g.inFlight--
+	g.completed++
+	if g.completed == len(g.lines) {
+		g.done()
+		return
+	}
+	g.pump()
+}
+
+// rangeWrite joins the fan-out of line writes covering one contiguous
+// range back into a single completion.
+type rangeWrite struct {
+	remaining int
+	done      func()
+	tok       sim.Done
+}
+
+func (w *rangeWrite) lineDone() {
+	w.remaining--
+	if w.remaining == 0 {
+		w.done()
+	}
 }
 
 // writePhysRange issues the timed line writes covering [base, base+n)
@@ -382,14 +412,10 @@ func writePhysRange(m *machine.Machine, base uint64, n uint64, done func()) {
 		m.Eng.Schedule(0, done)
 		return
 	}
-	remaining := lines
+	w := &rangeWrite{remaining: lines, done: done}
+	w.tok = sim.Thunk(w.lineDone)
 	for i := 0; i < lines; i++ {
-		m.Ctl.Access(true, mem.LineOf(base)+uint64(i)*mem.LineSize, func() {
-			remaining--
-			if remaining == 0 {
-				done()
-			}
-		})
+		m.Ctl.Access(true, mem.LineOf(base)+uint64(i)*mem.LineSize, w.tok)
 	}
 }
 

@@ -117,7 +117,7 @@ func (p *Prosper) recordSoftware(vaddr uint64, size int) {
 		st.WriteU32(wordAddr, st.ReadU32(wordAddr)|1<<(g%32))
 	}
 	// Timed bitmap update from the fault path.
-	p.env.Mach.Ctl.Access(true, msrs.BitmapBase+(firstG/32)*4, nil)
+	p.env.Mach.Ctl.Access(true, msrs.BitmapBase+(firstG/32)*4, sim.Done{})
 	if p.cur != nil {
 		p.cur.WidenTouched(lo, hi)
 		return

@@ -54,7 +54,7 @@ func (r *Romulus) OnStore(core *machine.Core, vaddr, paddr uint64, size int) sim
 	if r.logBytes/mem.LineSize != before {
 		// A fresh log line became full: write it back to NVM.
 		lineAddr := r.seg.MetaBase + metaEntries + before*mem.LineSize
-		r.env.Mach.Ctl.Access(true, lineAddr, nil)
+		r.env.Mach.Ctl.Access(true, lineAddr, sim.Done{})
 		r.Counters.Inc("romulus.log_line_writes")
 	}
 	// The hardware log write buffers; the store itself is not stalled.

@@ -108,7 +108,7 @@ func (s *SSP) OnStore(core *machine.Core, vaddr, paddr uint64, size int) sim.Tim
 			// version from the other twin (timed traffic + pipeline stall,
 			// stretched by current NVM congestion).
 			s.Counters.Inc("ssp.remap_fetches")
-			s.env.Mach.Ctl.Access(false, s.shadow[page]+uint64(l)*mem.LineSize, nil)
+			s.env.Mach.Ctl.Access(false, s.shadow[page]+uint64(l)*mem.LineSize, sim.Done{})
 			stall = remapPenalty + s.env.Mach.Ctl.NVM.EstimatedWait()
 		}
 		s.working[page] |= bit
@@ -131,7 +131,7 @@ func (s *SSP) consolidateTick() {
 	if n := len(s.pending); n > 0 {
 		metaLines := (n*8+mem.LineSize-1)/mem.LineSize + 1
 		for i := 0; i < metaLines; i++ {
-			s.env.Mach.Ctl.Access(false, s.seg.MetaBase+uint64(i)*mem.LineSize, nil)
+			s.env.Mach.Ctl.Access(false, s.seg.MetaBase+uint64(i)*mem.LineSize, sim.Done{})
 		}
 		s.Counters.Add("ssp.metadata_reads", uint64(metaLines))
 	}
@@ -157,8 +157,8 @@ func (s *SSP) consolidateTick() {
 				continue
 			}
 			lineAddr := shadowFrame + uint64(l)*mem.LineSize
-			s.env.Mach.Ctl.Access(false, lineAddr, nil) // read one twin
-			s.env.Mach.Ctl.Access(true, lineAddr, nil)  // write the other
+			s.env.Mach.Ctl.Access(false, lineAddr, sim.Done{}) // read one twin
+			s.env.Mach.Ctl.Access(true, lineAddr, sim.Done{})  // write the other
 		}
 	}
 	// Pages written during this tick become pending for the next. The
@@ -214,6 +214,7 @@ func (s *SSP) Checkpoint(done func(Result)) {
 			done(res)
 		}
 	}
+	completeTok := sim.Thunk(complete)
 	for _, w := range work {
 		res.Ranges++
 		paddr, _, ok := s.env.AS.PT.Translate(w.page)
@@ -227,7 +228,7 @@ func (s *SSP) Checkpoint(done func(Result)) {
 				continue
 			}
 			pendingOps++
-			m.Ctl.Access(true, paddr+uint64(l)*mem.LineSize, complete) // clwb
+			m.Ctl.Access(true, paddr+uint64(l)*mem.LineSize, completeTok) // clwb
 		}
 		// Commit-bitmap update in NVM: one line write per page entry. The
 		// entry functionally records the page's main NVM frame so recovery
@@ -237,7 +238,7 @@ func (s *SSP) Checkpoint(done func(Result)) {
 		pendingOps++
 		commitAddr := s.seg.MetaBase + metaEntries + ((w.page-s.seg.Lo)/mem.PageSize)*8
 		m.Storage.WriteU64(commitAddr, paddr&^(mem.PageSize-1))
-		m.Ctl.Access(true, commitAddr, complete)
+		m.Ctl.Access(true, commitAddr, completeTok)
 		res.MetaScanned++
 	}
 	s.working = make(map[uint64]uint64)

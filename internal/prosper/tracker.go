@@ -110,6 +110,12 @@ type Tracker struct {
 	outstandingLoads  int
 	outstandingStores int
 
+	// loadDoneTok/storeDoneTok retire one outstanding bitmap access; the
+	// method values are bound once in New so the injection path allocates
+	// nothing per access.
+	loadDoneTok  sim.Done
+	storeDoneTok sim.Done
+
 	touchedLo, touchedHi uint64
 	anyTouched           bool
 
@@ -144,6 +150,8 @@ func New(eng *sim.Engine, port cache.Port, storage *mem.Storage, cfg Config) *Tr
 		Counters:   stats.NewCounters(),
 		Histograms: stats.NewHistograms(),
 	}
+	t.loadDoneTok = sim.Thunk(t.loadRetired)
+	t.storeDoneTok = sim.Thunk(t.storeRetired)
 	t.cSOIs = t.Counters.Handle("prosper.sois")
 	t.cBitmapLoads = t.Counters.Handle("prosper.bitmap_loads")
 	t.cBitmapStores = t.Counters.Handle("prosper.bitmap_stores")
@@ -326,16 +334,19 @@ func (t *Tracker) writeback(e *entry) {
 	}
 }
 
+func (t *Tracker) loadRetired()  { t.outstandingLoads-- }
+func (t *Tracker) storeRetired() { t.outstandingStores-- }
+
 func (t *Tracker) issueLoad(wordAddr uint64) {
 	t.outstandingLoads++
 	t.cBitmapLoads.Inc()
-	t.port.Access(false, wordAddr, func() { t.outstandingLoads-- })
+	t.port.Access(false, wordAddr, t.loadDoneTok)
 }
 
 func (t *Tracker) issueStore(wordAddr uint64) {
 	t.outstandingStores++
 	t.cBitmapStores.Inc()
-	t.port.Access(true, wordAddr, func() { t.outstandingStores-- })
+	t.port.Access(true, wordAddr, t.storeDoneTok)
 }
 
 // Flush evicts every table entry (checkpoint end or context switch). The

@@ -22,14 +22,14 @@ type countPort struct {
 	latency sim.Time
 }
 
-func (p *countPort) Access(write bool, addr uint64, done func()) {
+func (p *countPort) Access(write bool, addr uint64, done sim.Done) {
 	if write {
 		p.writes++
 	} else {
 		p.reads++
 	}
-	if done != nil {
-		p.eng.Schedule(p.latency, done)
+	if done.Valid() {
+		p.eng.ScheduleDone(p.latency, done)
 	}
 }
 

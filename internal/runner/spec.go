@@ -153,6 +153,14 @@ type RunStats struct {
 
 	Elapsed sim.Time // measured window duration (warmup excluded)
 	SimEnd  sim.Time // absolute simulated time when the run finished
+
+	// EventsFired counts simulation events the engine dispatched over the
+	// whole run (warmup included). It is deterministic for a given binary
+	// but NOT part of the behavioral contract: optimizations that batch or
+	// elide events legitimately change it without changing any simulated
+	// cycle, so it belongs in throughput tracking, never in the
+	// deterministic compare set.
+	EventsFired uint64
 }
 
 // IPC returns the user-mode instructions-per-cycle of the run.
@@ -279,6 +287,7 @@ func (sp Spec) Run() RunStats {
 	res.CtxSwitchIn = k.Counters.Get("kernel.ctxswitch_in_cycles")
 	res.CtxSwitchOut = k.Counters.Get("kernel.ctxswitch_out_cycles")
 	res.SimEnd = k.Eng.Now()
+	res.EventsFired = k.Eng.Fired()
 	runSpan.End(
 		telemetry.U("user_ops", res.UserOps),
 		telemetry.U("checkpoints", res.Checkpoints),

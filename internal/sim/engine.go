@@ -8,12 +8,17 @@
 // randomness in the simulator flows from explicitly seeded sources
 // (see Rand). Re-running a configuration always reproduces the same cycle
 // counts and statistics.
+//
+// The event queue is an index-based 4-ary min-heap over a flat []event
+// slice: no container/heap, no interface boxing, and the slice backing
+// doubles as the event free list (popped slots are reused by later
+// pushes), so steady-state scheduling allocates nothing. Ordering is the
+// strict total order (when, seq) — seq is unique per event — so any
+// correct min-heap pops events in exactly the same sequence; switching
+// the heap arity cannot change a single simulated cycle.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a simulation timestamp in CPU cycles. The simulated machine runs
 // at Frequency cycles per second, so wall-clock intervals convert via
@@ -33,35 +38,70 @@ const (
 )
 
 // event is a scheduled callback. seq breaks ties among events with equal
-// timestamps so ordering is deterministic FIFO.
+// timestamps so ordering is deterministic FIFO. An event carries either a
+// plain callback (fn) or a prebound single-argument callback (afn+arg);
+// the latter lets hot paths schedule completions without materializing a
+// fresh closure per event.
 type event struct {
 	when Time
 	seq  uint64
 	fn   func()
+	afn  func(uint64)
+	arg  uint64
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// less orders events by (when, seq). seq is unique, so this is a strict
+// total order: heap pop order is independent of heap shape.
+func (ev event) less(other event) bool {
+	if ev.when != other.when {
+		return ev.when < other.when
 	}
-	return h[i].seq < h[j].seq
+	return ev.seq < other.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+// Done is a heap-free completion token: the continuation a component hands
+// down the memory hierarchy instead of a freshly allocated `func()`
+// closure. It wraps either a plain callback or a callback bound to one
+// uint64 argument; components materialize the bound method value once (at
+// construction or pool-entry birth) and pass copies of the token through
+// the port chain, so the steady-state access path allocates nothing.
+//
+// The zero value is the "no completion" token (the old nil done):
+// Valid() is false and Run() is a no-op.
+type Done struct {
+	fn  func()
+	afn func(uint64)
+	arg uint64
+}
+
+// Thunk wraps a plain callback as a completion token. Wrapping is free;
+// creating fn itself may allocate, so hot paths should create it once and
+// reuse the token.
+func Thunk(fn func()) Done { return Done{fn: fn} }
+
+// Bind wraps a single-argument callback plus its argument as a completion
+// token. The callback is typically a method value stored once on the
+// owning component; Bind itself never allocates.
+func Bind(fn func(uint64), arg uint64) Done { return Done{afn: fn, arg: arg} }
+
+// Valid reports whether the token carries a callback (the analogue of the
+// old `done != nil` check).
+func (d Done) Valid() bool { return d.fn != nil || d.afn != nil }
+
+// Run invokes the wrapped callback, if any.
+func (d Done) Run() {
+	if d.fn != nil {
+		d.fn()
+		return
+	}
+	if d.afn != nil {
+		d.afn(d.arg)
+	}
 }
 
 // Engine is the discrete-event scheduler. The zero value is ready to use.
 type Engine struct {
-	queue eventHeap
+	queue []event // flat 4-ary min-heap ordered by (when, seq)
 	now   Time
 	seq   uint64
 	fired uint64
@@ -79,6 +119,14 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events waiting in the queue.
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// ScheduleSeq returns the sequence number the next scheduled event will
+// receive. Because seq is the same-cycle tiebreaker and every Schedule/At
+// consumes exactly one, a component that records ScheduleSeq right after
+// scheduling an event can later prove "nothing else was scheduled in
+// between" by comparing — the foundation of the device's order-safe
+// completion batching.
+func (e *Engine) ScheduleSeq() uint64 { return e.seq }
 
 // AssertDrained returns nil when no events are pending, or an error
 // naming the leftover count and the next due timestamp. Tests use it to
@@ -106,8 +154,88 @@ func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
 	}
-	heap.Push(&e.queue, event{when: t, seq: e.seq, fn: fn})
+	e.push(event{when: t, seq: e.seq, fn: fn})
 	e.seq++
+}
+
+// ScheduleDone runs the completion token delay cycles from now.
+func (e *Engine) ScheduleDone(delay Time, d Done) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	e.AtDone(e.now+delay, d)
+}
+
+// AtDone runs the completion token at the absolute cycle t.
+func (e *Engine) AtDone(t Time, d Done) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
+	}
+	e.push(event{when: t, seq: e.seq, fn: d.fn, afn: d.afn, arg: d.arg})
+	e.seq++
+}
+
+// push inserts ev, sifting up through 4-ary parents. Shifting occupied
+// slots down and writing ev once at its final position keeps the inner
+// loop to one comparison and one copy per level.
+func (e *Engine) push(ev event) {
+	e.queue = append(e.queue, ev)
+	q := e.queue
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !ev.less(q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = ev
+}
+
+// pop removes and returns the minimum event (the root at index 0, which
+// AssertDrained and RunUntil peek directly).
+func (e *Engine) pop() event {
+	q := e.queue
+	root := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = event{} // drop callback references so the GC can reclaim them
+	e.queue = q[:n]
+	if n > 0 {
+		e.siftDown(last)
+	}
+	return root
+}
+
+// siftDown re-inserts ev from the root, descending to the smallest of up
+// to four children per level.
+func (e *Engine) siftDown(ev event) {
+	q := e.queue
+	n := len(q)
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if q[c].less(q[min]) {
+				min = c
+			}
+		}
+		if !q[min].less(ev) {
+			break
+		}
+		q[i] = q[min]
+		i = min
+	}
+	q[i] = ev
 }
 
 // Step executes the single earliest pending event and returns true, or
@@ -116,10 +244,14 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(event)
+	ev := e.pop()
 	e.now = ev.when
 	e.fired++
-	ev.fn()
+	if ev.fn != nil {
+		ev.fn()
+	} else if ev.afn != nil {
+		ev.afn(ev.arg)
+	}
 	return true
 }
 
@@ -150,11 +282,14 @@ func (e *Engine) RunWhile(cond func() bool) {
 }
 
 // Ticker invokes fn every period cycles until Stop is called. The first
-// tick fires one period from the time Tick is created.
+// tick fires one period from the time Tick is created. The rescheduling
+// callback is bound once at construction and reused every period, so a
+// steady ticker contributes zero allocations per tick.
 type Ticker struct {
 	engine  *Engine
 	period  Time
 	fn      func()
+	tickFn  func() // t.tick, materialized once
 	stopped bool
 }
 
@@ -165,7 +300,8 @@ func (e *Engine) NewTicker(period Time, fn func()) *Ticker {
 		panic("sim: ticker period must be positive")
 	}
 	t := &Ticker{engine: e, period: period, fn: fn}
-	e.Schedule(period, t.tick)
+	t.tickFn = t.tick
+	e.Schedule(period, t.tickFn)
 	return t
 }
 
@@ -175,7 +311,7 @@ func (t *Ticker) tick() {
 	}
 	t.fn()
 	if !t.stopped {
-		t.engine.Schedule(t.period, t.tick)
+		t.engine.Schedule(t.period, t.tickFn)
 	}
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -233,5 +234,105 @@ func TestRandFloat64Range(t *testing.T) {
 		if v < 0 || v >= 1 {
 			t.Fatalf("Float64 out of range: %f", v)
 		}
+	}
+}
+
+// TestHeapMatchesReferenceSort drives the flat 4-ary heap with an
+// adversarial mix of interleaved At/Schedule calls — including events
+// scheduled from inside running events — and checks the full dispatch
+// order against a stable sort by (when, insertion order). This is the
+// exact contract the simulator's determinism rests on: seq numbers are
+// unique, so one correct order exists and the heap must produce it.
+func TestHeapMatchesReferenceSort(t *testing.T) {
+	f := func(delays []uint16, nested []uint8) bool {
+		e := NewEngine()
+		type rec struct {
+			when  Time
+			order int
+		}
+		var want []rec
+		var got []int
+		order := 0
+		add := func(when Time) {
+			id := order
+			order++
+			want = append(want, rec{when, id})
+			e.At(when, func() { got = append(got, id) })
+		}
+		for i, d := range delays {
+			if i >= 128 {
+				break
+			}
+			add(Time(d))
+			// Occasionally schedule a follow-up from inside an event, so
+			// pushes interleave with pops mid-run.
+			if i < len(nested) && nested[i]%3 == 0 {
+				id := order
+				order++
+				extra := Time(d) + Time(nested[i])
+				want = append(want, rec{extra, id})
+				e.At(Time(d), func() {
+					e.At(extra, func() { got = append(got, id) })
+				})
+			}
+		}
+		e.Run()
+		sort.SliceStable(want, func(i, j int) bool {
+			if want[i].when != want[j].when {
+				return want[i].when < want[j].when
+			}
+			return want[i].order < want[j].order
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i].order {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScheduleSteadyStateAllocs pins the scheduler's hot path at zero
+// heap allocations once the event array has grown to working size:
+// neither Schedule/ScheduleDone nor dispatch may box events.
+func TestScheduleSteadyStateAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	tok := Thunk(fn)
+	allocs := testing.AllocsPerRun(500, func() {
+		for i := 0; i < 32; i++ {
+			e.Schedule(Time(i%7), fn)
+			e.ScheduleDone(Time(i%5), tok)
+		}
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("scheduler allocates %.1f objects per batch, want 0", allocs)
+	}
+}
+
+// TestTickerSteadyStateAllocs pins the recurring-tick path: after the
+// first tick the Ticker must reuse its stored callback instead of
+// allocating a fresh closure per period.
+func TestTickerSteadyStateAllocs(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	e.NewTicker(10, func() { ticks++ })
+	e.RunUntil(100) // warm: first ticks grow the queue
+	before := ticks
+	allocs := testing.AllocsPerRun(100, func() {
+		e.RunUntil(e.Now() + 50)
+	})
+	if allocs != 0 {
+		t.Fatalf("ticker allocates %.1f objects per 5 ticks, want 0", allocs)
+	}
+	if ticks <= before {
+		t.Fatal("ticker stopped firing")
 	}
 }

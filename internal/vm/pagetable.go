@@ -168,6 +168,28 @@ func (pt *PageTable) WalkAddrs(vaddr uint64) []uint64 {
 	return addrs
 }
 
+// WalkAddrsInto is the allocation-free variant of WalkAddrs for the hot
+// page-walk path: it fills dst with the walk's physical addresses and
+// returns how many levels were present (1..levels).
+func (pt *PageTable) WalkAddrsInto(vaddr uint64, dst *[levels]uint64) int {
+	checkVA(vaddr)
+	n := 0
+	nd := pt.root
+	for level := 0; level < levels; level++ {
+		idx := indexAt(vaddr, level)
+		dst[n] = nd.physBase + uint64(idx)*8
+		n++
+		if level == levels-1 {
+			break
+		}
+		nd = nd.children[idx]
+		if nd == nil {
+			break
+		}
+	}
+	return n
+}
+
 // Translate performs a functional walk: on success it returns the physical
 // address corresponding to vaddr and the leaf PTE.
 func (pt *PageTable) Translate(vaddr uint64) (paddr uint64, pte *PTE, ok bool) {
