@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	prosper-bench [-quick] [-out FILE] [-parallel n]
+//	prosper-bench [-quick] [-out FILE] [-parallel n] [-cpuprofile FILE] [-memprofile FILE]
 //	prosper-bench -compare OLD.json [-tolerance pct] [-quick] [-parallel n]
 //
-// The report has three sections. "deterministic" holds simulation
+// The report has four sections. "deterministic" holds simulation
 // metrics (user ops/cycles and the IPC proxy, checkpoint counts and
 // bytes, and the checkpoint-pause distribution with its quantiles) —
 // these are byte-for-byte reproducible for a given suite on any machine
@@ -16,18 +16,27 @@
 // wall-second (informational), and heap allocations/bytes per simulated
 // megacycle, which are stable enough across hosts to ratchet — -compare
 // fails when they regress beyond -throughput-tolerance percent, while
-// improvements always pass. "host_nondeterministic" holds raw wall-clock
-// time and allocation totals: useful for eyeballing, excluded from
-// -compare entirely because they vary run to run.
+// improvements always pass. "host_attribution" decomposes the suite's
+// dispatched events by owning simulated component (sim.Component): the
+// per-component event counts are deterministic — they sum exactly to
+// events_fired and -compare checks them exactly — while the
+// per-component wall-time shares are informational. "host_nondeterministic"
+// holds raw wall-clock time and allocation totals: useful for
+// eyeballing, excluded from -compare entirely because they vary run to
+// run.
+//
+// -cpuprofile/-memprofile write pprof profiles covering the suite (the
+// heap profile after a runtime.GC so it reflects live data); feed them
+// to prosper-prof for the package-level component attribution.
 //
 // -compare loads a previous report and exits non-zero if any
 // deterministic metric drifted beyond -tolerance percent (default 0:
 // exact match), if the allocation-throughput ratchet regressed, or if
 // the two reports cover different runs. Compare like-for-like: a -quick
-// run against a -quick baseline (the committed BENCH_0006.json is the
-// -quick suite; BENCH_0004.json is the same suite in the pre-ratchet
-// schema, kept so the deterministic sections can be diffed across the
-// event-core refactor).
+// run against a -quick baseline (the committed BENCH_0007.json is the
+// -quick suite; BENCH_0004.json and BENCH_0006.json are the same suite
+// in earlier schemas, kept so the deterministic sections can be diffed
+// across the event-core and profiling refactors).
 package main
 
 import (
@@ -38,6 +47,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -47,7 +57,7 @@ import (
 	"prosper/internal/workload"
 )
 
-const schemaVersion = "prosper-bench/2"
+const schemaVersion = "prosper-bench/3"
 
 // report is the serialized benchmark outcome. encoding/json marshals
 // maps with sorted keys, so the emitted bytes are deterministic for the
@@ -61,6 +71,10 @@ type report struct {
 	// Throughput tracks simulator efficiency; -compare ratchets the
 	// allocation-rate metrics (see compare) and exact-checks sim_cycles.
 	Throughput throughputStats `json:"host_throughput"`
+	// Attribution decomposes dispatched events by owning component;
+	// -compare exact-checks the event counts (deterministic) and ignores
+	// the wall shares.
+	Attribution attributionStats `json:"host_attribution"`
 	// Host metrics vary run to run; -compare ignores this section.
 	Host hostStats `json:"host_nondeterministic"`
 }
@@ -78,6 +92,18 @@ type throughputStats struct {
 	KCyclesPerSec   float64 `json:"kcycles_per_sec"`
 	AllocsPerMcycle float64 `json:"allocs_per_mcycle"`
 	BytesPerMcycle  float64 `json:"bytes_per_mcycle"`
+}
+
+// attributionStats is the per-component decomposition of the suite's
+// dispatched events. EventCounts (keyed by sim.Component name) is on the
+// deterministic side of the contract: byte-identical across runs and
+// -parallel values, summing exactly to host_throughput.events_fired.
+// WallSharePct spreads batched host time over components and varies run
+// to run.
+type attributionStats struct {
+	Note         string             `json:"note"`
+	EventCounts  map[string]uint64  `json:"event_counts"`
+	WallSharePct map[string]float64 `json:"wall_share_pct"`
 }
 
 type hostStats struct {
@@ -135,6 +161,7 @@ func suite(quick bool) (string, []runner.Spec) {
 				Checkpoints: ckpts,
 				Warmup:      interval / 2,
 				Seed:        1,
+				Profile:     true,
 			})
 		}
 	}
@@ -194,10 +221,33 @@ func runSuite(quick bool, workers int) report {
 		},
 	}
 	var simCycles, eventsFired uint64
+	var counts [sim.NumComponents]uint64
+	var nanos [sim.NumComponents]int64
 	for i, sp := range specs {
 		rep.Deterministic[sp.DisplayLabel()] = metrics(res[i])
 		simCycles += uint64(res[i].SimEnd)
 		eventsFired += res[i].EventsFired
+		for c := range counts {
+			counts[c] += res[i].EventCounts[c]
+			nanos[c] += res[i].EventNanos[c]
+		}
+	}
+	rep.Attribution = attributionStats{
+		Note:         "event_counts is deterministic (sums to events_fired, exact-checked by -compare); wall_share_pct varies run to run",
+		EventCounts:  map[string]uint64{},
+		WallSharePct: map[string]float64{},
+	}
+	var totalNanos int64
+	for _, n := range nanos {
+		totalNanos += n
+	}
+	for _, c := range sim.Components() {
+		rep.Attribution.EventCounts[c.String()] = counts[c]
+		share := 0.0
+		if totalNanos > 0 {
+			share = round2(100 * float64(nanos[c]) / float64(totalNanos))
+		}
+		rep.Attribution.WallSharePct[c.String()] = share
 	}
 	rep.Throughput = throughputStats{
 		Note:        "allocation rates per simulated megacycle are ratcheted by -compare; kcycles_per_sec is informational",
@@ -308,6 +358,36 @@ func compare(old, cur report, tolerancePct, throughputTolPct float64) []string {
 	ratchet("events_fired", float64(old.Throughput.EventsFired), float64(cur.Throughput.EventsFired))
 	ratchet("allocs_per_mcycle", old.Throughput.AllocsPerMcycle, cur.Throughput.AllocsPerMcycle)
 	ratchet("bytes_per_mcycle", old.Throughput.BytesPerMcycle, cur.Throughput.BytesPerMcycle)
+
+	// Per-component event counts are deterministic, so they compare
+	// exactly, like sim_cycles. A pre-schema-3 baseline carries no
+	// host_attribution section; skip rather than compare against an empty
+	// map (the schema mismatch above already flags it).
+	if len(old.Attribution.EventCounts) > 0 {
+		var comps []string
+		for name := range old.Attribution.EventCounts {
+			comps = append(comps, name)
+		}
+		sort.Strings(comps)
+		for _, name := range comps {
+			ov := old.Attribution.EventCounts[name]
+			nv, ok := cur.Attribution.EventCounts[name]
+			if !ok {
+				problems = append(problems, fmt.Sprintf("host_attribution.event_counts.%s missing from current report", name))
+				continue
+			}
+			if ov != nv {
+				problems = append(problems, fmt.Sprintf(
+					"REGRESSION host_attribution.event_counts.%s: baseline %d, current %d (deterministic; must match exactly)",
+					name, ov, nv))
+			}
+		}
+		for name := range cur.Attribution.EventCounts {
+			if _, ok := old.Attribution.EventCounts[name]; !ok {
+				problems = append(problems, fmt.Sprintf("host_attribution.event_counts.%s absent from baseline", name))
+			}
+		}
+	}
 	return problems
 }
 
@@ -321,6 +401,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tolerance := fs.Float64("tolerance", 0, "allowed per-metric drift for -compare, in percent")
 	throughputTol := fs.Float64("throughput-tolerance", 20, "allowed host-throughput regression for -compare, in percent (improvements always pass)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent runs (results identical for any value)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the suite to FILE (feed to prosper-prof)")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to FILE after the suite (preceded by runtime.GC)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -329,7 +411,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "prosper-bench:", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "prosper-bench:", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	rep := runSuite(*quick, *parallel)
+
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile() // flush before any compare exit; the deferred stop becomes a no-op
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "prosper-bench:", err)
+			return 2
+		}
+		runtime.GC() // heap profile reflects live data, not transient garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "prosper-bench:", err)
+			return 2
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, "prosper-bench:", err)
+			return 2
+		}
+	}
 
 	if *comparePath != "" {
 		raw, err := os.ReadFile(*comparePath)

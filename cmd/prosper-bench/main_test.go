@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"prosper/internal/hostprof"
 )
 
 // TestQuickSuiteDeterministic runs the quick suite twice (serial and
@@ -104,6 +106,37 @@ func TestCompareSelfAndRegression(t *testing.T) {
 	}
 }
 
+// TestProfileFlags runs the quick suite with -cpuprofile and
+// -memprofile and checks both outputs decode with internal/hostprof —
+// the same path prosper-prof takes, so the bench → prof pipeline is
+// covered end to end without depending on sample counts (a fast suite
+// may catch few or no CPU samples).
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pb.gz")
+	mem := filepath.Join(dir, "mem.pb.gz")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-quick", "-cpuprofile", cpu, "-memprofile", mem, "-out", filepath.Join(dir, "rep.json")}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	for _, path := range []string{cpu, mem} {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := hostprof.Parse(raw)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(p.SampleTypes) == 0 {
+			t.Fatalf("%s: no sample types", path)
+		}
+		if _, err := hostprof.Attribute(p, -1); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+	}
+}
+
 // TestCompareSuiteMismatch ensures a full-suite report cannot silently
 // pass against a quick baseline.
 func TestCompareSuiteMismatch(t *testing.T) {
@@ -175,9 +208,10 @@ func TestThroughputRatchet(t *testing.T) {
 }
 
 // TestBaselineContinuity pins the no-cycle-drift invariant of the event
-// core refactor in the repository itself: the committed BENCH_0006.json
-// (prosper-bench/2) must carry a deterministic section byte-identical to
-// the committed pre-refactor BENCH_0004.json (prosper-bench/1).
+// core and profiling refactors in the repository itself: the committed
+// BENCH_0004.json (prosper-bench/1), BENCH_0006.json (prosper-bench/2),
+// and BENCH_0007.json (prosper-bench/3) must all carry byte-identical
+// deterministic sections.
 func TestBaselineContinuity(t *testing.T) {
 	read := func(name string) json.RawMessage {
 		raw, err := os.ReadFile(filepath.Join("..", "..", name))
@@ -195,10 +229,81 @@ func TestBaselineContinuity(t *testing.T) {
 		}
 		return rep.Deterministic
 	}
-	old := read("BENCH_0004.json")
-	cur := read("BENCH_0006.json")
-	if !bytes.Equal(old, cur) {
-		t.Fatalf("deterministic sections diverged between baselines:\n%s\n--- vs ---\n%s", old, cur)
+	v1 := read("BENCH_0004.json")
+	v2 := read("BENCH_0006.json")
+	v3 := read("BENCH_0007.json")
+	if !bytes.Equal(v1, v2) {
+		t.Fatalf("deterministic sections diverged between BENCH_0004 and BENCH_0006:\n%s\n--- vs ---\n%s", v1, v2)
+	}
+	if !bytes.Equal(v2, v3) {
+		t.Fatalf("deterministic sections diverged between BENCH_0006 and BENCH_0007:\n%s\n--- vs ---\n%s", v2, v3)
+	}
+}
+
+// TestAttributionInvariant runs the pinned quick suite at -parallel 1
+// and 4 and checks the host_attribution contract: the per-component
+// event counts are identical for any worker count and sum exactly to
+// events_fired (which itself equals the sum of each run's
+// Engine.Fired()).
+func TestAttributionInvariant(t *testing.T) {
+	a := runSuite(true, 1)
+	b := runSuite(true, 4)
+	for _, rep := range []report{a, b} {
+		var sum uint64
+		for _, v := range rep.Attribution.EventCounts {
+			sum += v
+		}
+		if sum != rep.Throughput.EventsFired {
+			t.Fatalf("event_counts sum to %d, want events_fired = %d", sum, rep.Throughput.EventsFired)
+		}
+	}
+	aj, _ := json.Marshal(a.Attribution.EventCounts)
+	bj, _ := json.Marshal(b.Attribution.EventCounts)
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("event_counts differ between workers=1 and workers=4:\n%s\n--- vs ---\n%s", aj, bj)
+	}
+	if a.Throughput.EventsFired != b.Throughput.EventsFired {
+		t.Fatalf("events_fired differ between workers=1 and workers=4: %d vs %d",
+			a.Throughput.EventsFired, b.Throughput.EventsFired)
+	}
+}
+
+// TestCompareAttributionRegression proves a drifted per-component event
+// count fails -compare exactly (no tolerance), and that a pre-schema-3
+// baseline without the section is skipped rather than compared against
+// an empty map.
+func TestCompareAttributionRegression(t *testing.T) {
+	base := report{Schema: schemaVersion, Suite: "quick",
+		Deterministic: map[string]map[string]uint64{},
+		Throughput:    throughputStats{SimCycles: 1_000_000, EventsFired: 100},
+		Attribution: attributionStats{
+			EventCounts: map[string]uint64{"mem": 60, "cache": 40},
+		}}
+	cur := base
+	if problems := compare(base, cur, 0, 20); len(problems) != 0 {
+		t.Fatalf("identical attribution flagged: %v", problems)
+	}
+
+	cur.Attribution = attributionStats{EventCounts: map[string]uint64{"mem": 61, "cache": 40}}
+	problems := compare(base, cur, 0, 20)
+	if len(problems) != 1 || !strings.Contains(problems[0], "event_counts.mem") {
+		t.Fatalf("event-count drift not flagged exactly: %v", problems)
+	}
+
+	cur.Attribution = attributionStats{EventCounts: map[string]uint64{"mem": 60}}
+	problems = compare(base, cur, 0, 20)
+	if len(problems) != 1 || !strings.Contains(problems[0], "event_counts.cache missing") {
+		t.Fatalf("missing component not flagged: %v", problems)
+	}
+
+	// Schema-2 baseline: no attribution section, no spurious findings
+	// beyond the schema mismatch.
+	v2 := base
+	v2.Schema = "prosper-bench/2"
+	v2.Attribution = attributionStats{}
+	problems = compare(v2, base, 0, 20)
+	if len(problems) != 1 || !strings.Contains(problems[0], "schema mismatch") {
+		t.Fatalf("schema-2 baseline: want only schema mismatch, got %v", problems)
 	}
 }
 

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixture = "testdata/cpu.pb.gz"
+
+// TestGoldenTable pins prosper-prof's table output for the committed
+// fixture byte-for-byte: the attribution of a given profile is part of
+// the tool's contract, not an implementation detail.
+func TestGoldenTable(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden.table.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{fixture}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out.String() != string(want) {
+		t.Fatalf("table drifted from golden:\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+}
+
+func TestGoldenJSON(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", fixture}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out.String() != string(want) {
+		t.Fatalf("json drifted from golden:\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+}
+
+// TestOutputStableAcrossRuns re-runs the attribution several times:
+// identical input must produce identical bytes every time.
+func TestOutputStableAcrossRuns(t *testing.T) {
+	var first string
+	for i := 0; i < 3; i++ {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-json", fixture}, &out, &errb); code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errb.String())
+		}
+		if i == 0 {
+			first = out.String()
+		} else if out.String() != first {
+			t.Fatal("output varied across runs on identical input")
+		}
+	}
+}
+
+func TestSampleTypeSelection(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-sample-type", "samples", fixture}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "sample type: samples/count, total 101 over 11 samples") {
+		t.Fatalf("samples dimension not selected:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-sample-type", "bogus", fixture}, &out, &errb); code != 2 {
+		t.Fatalf("unknown sample type: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "no sample type") {
+		t.Fatalf("stderr = %s", errb.String())
+	}
+}
+
+// TestMalformedProfilesExit2 feeds truncated and corrupt inputs; each
+// must exit 2 with a diagnostic on stderr, never a panic or silence.
+func TestMalformedProfilesExit2(t *testing.T) {
+	good, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cases := map[string][]byte{
+		"empty.pb.gz":     {},
+		"truncated.pb.gz": good[:len(good)/3],
+		"garbage.pb.gz":   []byte("\x1f\x8b not actually gzip"),
+		"text.pb":         []byte("component flat cum\n"),
+	}
+	for name, data := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out, errb bytes.Buffer
+		if code := run([]string{path}, &out, &errb); code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %q)", name, code, errb.String())
+		}
+		if errb.Len() == 0 {
+			t.Errorf("%s: no diagnostic on stderr", name)
+		}
+	}
+}
+
+func TestUsageErrorsExit2(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"a", "b"}, &out, &errb); code != 2 {
+		t.Fatalf("two args: exit %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.pb.gz")}, &out, &errb); code != 2 {
+		t.Fatalf("missing file: exit %d, want 2", code)
+	}
+}

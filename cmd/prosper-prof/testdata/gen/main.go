@@ -1,0 +1,57 @@
+// Command gen regenerates the committed prosper-prof test fixture
+// (testdata/cpu.pb.gz): a small synthetic CPU profile with realistic
+// simulator stacks, built with hostprof.Builder so the bytes depend only
+// on this build sequence. Run it from the repository root:
+//
+//	go run ./cmd/prosper-prof/testdata/gen
+//
+// The fixture is generated once and committed; the golden outputs next
+// to it (golden.table.txt, golden.json) are what prosper-prof must
+// produce for it, byte for byte. If you change the fixture, regenerate
+// the goldens with:
+//
+//	go run ./cmd/prosper-prof testdata/cpu.pb.gz > testdata/golden.table.txt
+//	go run ./cmd/prosper-prof -json testdata/cpu.pb.gz > testdata/golden.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"prosper/internal/hostprof"
+)
+
+func main() {
+	b := hostprof.NewBuilder(
+		hostprof.ValueType{Type: "samples", Unit: "count"},
+		hostprof.ValueType{Type: "cpu", Unit: "nanoseconds"},
+	)
+	b.SetPeriod(hostprof.ValueType{Type: "cpu", Unit: "nanoseconds"}, 10_000_000)
+	b.SetTimes(1_754_000_000_000_000_000, 3_000_000_000)
+
+	step := "prosper/internal/sim.(*Engine).Step"
+	runFor := "prosper/internal/kernel.(*Kernel).RunFor"
+	specRun := "prosper/internal/runner.Spec.Run"
+
+	// Stacks are leaf-first, mirroring what runtime/pprof records for a
+	// bench run: device completions, cache fills, core pipeline steps,
+	// tracker polls, checkpoint copy loops, and runtime memmove under a
+	// persist copy.
+	b.Sample([]string{"prosper/internal/mem.(*Device).complete", step, runFor, specRun}, 14, 140_000_000)
+	b.Sample([]string{"prosper/internal/cache.(*Cache).fill", step, runFor, specRun}, 9, 90_000_000)
+	b.Sample([]string{"prosper/internal/machine.(*Core).step", step, runFor, specRun}, 31, 310_000_000)
+	b.Sample([]string{"prosper/internal/vm.(*PageTable).Walk", "prosper/internal/machine.(*seqWalk).step", step, runFor, specRun}, 4, 40_000_000)
+	b.Sample([]string{"prosper/internal/prosper.(*Tracker).poll", step, runFor, specRun}, 6, 60_000_000)
+	b.Sample([]string{"prosper/internal/persist.(*prosperMech).Checkpoint", step, runFor, specRun}, 8, 80_000_000)
+	b.Sample([]string{"runtime.memmove", "prosper/internal/persist.(*prosperMech).copyRange", step, runFor, specRun}, 5, 50_000_000)
+	b.Sample([]string{"prosper/internal/kernel.(*Kernel).contextSwitch", step, runFor, specRun}, 3, 30_000_000)
+	b.Sample([]string{"prosper/internal/workload.(*gapbsPR).Next", "prosper/internal/machine.(*Core).step", step, runFor, specRun}, 12, 120_000_000)
+	b.Sample([]string{"prosper/internal/sim.(*Engine).pop", step, runFor, specRun}, 7, 70_000_000)
+	b.Sample([]string{"runtime.mallocgc", "prosper/internal/telemetry.(*Tracer).Begin", specRun}, 2, 20_000_000)
+
+	if err := os.WriteFile("cmd/prosper-prof/testdata/cpu.pb.gz", b.EncodeGzip(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "gen:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote cmd/prosper-prof/testdata/cpu.pb.gz")
+}

@@ -22,6 +22,10 @@ var fixturePath = map[string]string{
 	"testdata/src/directive":      "prosper/internal/vm",
 	"testdata/src/statskeys/fixa": "prosper/internal/fixa",
 	"testdata/src/statskeys/fixb": "prosper/internal/fixb",
+	// The hostprof fixture poses as a non-sanctioned package (cache) so
+	// its clock reads are findings; TestWallclockAllowsHostprofPackage
+	// re-analyzes it under the real allowlisted path.
+	"testdata/src/hostprof": "prosper/internal/cache",
 }
 
 func loadFixtures(t *testing.T, dirs ...string) (*Loader, []*Package) {
@@ -138,6 +142,41 @@ func TestWallclockAllowsHostTimingPackages(t *testing.T) {
 	rep := r.Analyze([]*Package{pkg})
 	if len(rep.Findings) != 0 {
 		t.Errorf("wallclock flagged an allowlisted package: %+v", rep.Findings)
+	}
+}
+
+// TestWallclockFlagsHostprofShapedCode proves the allowlist extension
+// for internal/hostprof did not blunt the pass: the very same clock
+// code in any non-sanctioned package is still flagged at every site.
+func TestWallclockFlagsHostprofShapedCode(t *testing.T) {
+	rep := runFixture(t, []Pass{NewWallclock()}, "testdata/src/hostprof")
+	_, pkgs := loadFixtures(t, "testdata/src/hostprof")
+	wants := collectWants(pkgs)
+	if len(wants) == 0 {
+		t.Fatal("hostprof fixture carries no want annotations")
+	}
+	checkAgainstWants(t, rep, wants)
+	if rep.Suppressed != 0 {
+		t.Errorf("suppressed = %d, want 0 (fixture has no ignore directives)", rep.Suppressed)
+	}
+}
+
+// TestWallclockAllowsHostprofPackage analyzes the same fixture under the
+// sanctioned prosper/internal/hostprof path: the package owns the
+// profiling clock, so the allowlist admits it without directives.
+func TestWallclockAllowsHostprofPackage(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir("testdata/src/hostprof", "prosper/internal/hostprof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Loader: l, Passes: []Pass{NewWallclock()}}
+	rep := r.Analyze([]*Package{pkg})
+	if len(rep.Findings) != 0 {
+		t.Errorf("wallclock flagged the sanctioned hostprof package: %+v", rep.Findings)
 	}
 }
 

@@ -240,12 +240,12 @@ func (c *Cache) miss(write bool, lineAddr uint64, done sim.Done) {
 	c.mshrs[lineAddr] = m
 	c.hMSHROcc.Observe(uint64(len(c.mshrs)))
 	// Fetch the line from the level below after paying the lookup latency.
-	c.eng.ScheduleDone(c.cfg.Latency, sim.Bind(c.fetchFn, lineAddr))
+	c.eng.ScheduleDone(c.cfg.Latency, sim.Bind(sim.CompCache, c.fetchFn, lineAddr))
 }
 
 // fetch asks the next level for lineAddr; fill runs on its completion.
 func (c *Cache) fetch(lineAddr uint64) {
-	c.nextAccess(false, lineAddr, sim.Bind(c.fillFn, lineAddr))
+	c.nextAccess(false, lineAddr, sim.Bind(sim.CompCache, c.fillFn, lineAddr))
 }
 
 func (c *Cache) fill(lineAddr uint64) {

@@ -36,9 +36,9 @@ func TestCacheMissThenHit(t *testing.T) {
 	eng := sim.NewEngine()
 	c, below := testCache(eng, 4)
 	var missT, hitT sim.Time
-	c.Access(false, 0x1000, sim.Thunk(func() { missT = eng.Now() }))
+	c.Access(false, 0x1000, sim.Thunk(sim.CompCache, func() { missT = eng.Now() }))
 	eng.Run()
-	c.Access(false, 0x1008, sim.Thunk(func() { hitT = eng.Now() - missT }))
+	c.Access(false, 0x1008, sim.Thunk(sim.CompCache, func() { hitT = eng.Now() - missT }))
 	eng.Run()
 	if missT < 100 {
 		t.Fatalf("miss too fast: %d", missT)
@@ -59,7 +59,7 @@ func TestCacheMSHRCoalescing(t *testing.T) {
 	c, below := testCache(eng, 4)
 	completed := 0
 	for i := 0; i < 5; i++ {
-		c.Access(false, 0x2000+uint64(i*8), sim.Thunk(func() { completed++ }))
+		c.Access(false, 0x2000+uint64(i*8), sim.Thunk(sim.CompCache, func() { completed++ }))
 	}
 	eng.Run()
 	if completed != 5 {
@@ -78,7 +78,7 @@ func TestCacheMSHRExhaustionStalls(t *testing.T) {
 	c, _ := testCache(eng, 2)
 	completed := 0
 	for i := 0; i < 6; i++ {
-		c.Access(false, uint64(i)*mem.LineSize, sim.Thunk(func() { completed++ }))
+		c.Access(false, uint64(i)*mem.LineSize, sim.Thunk(sim.CompCache, func() { completed++ }))
 	}
 	if c.Counters.Get("t.mshr_stalls") == 0 {
 		t.Fatal("expected MSHR stalls")
@@ -153,10 +153,10 @@ func TestHierarchyEndToEnd(t *testing.T) {
 	h := NewHierarchy(eng, 2, PortFunc(ctl.Access))
 	var coldT, warmT sim.Time
 	start := eng.Now()
-	h.CorePort(0).Access(false, 0x4000, sim.Thunk(func() { coldT = eng.Now() - start }))
+	h.CorePort(0).Access(false, 0x4000, sim.Thunk(sim.CompCache, func() { coldT = eng.Now() - start }))
 	eng.Run()
 	start = eng.Now()
-	h.CorePort(0).Access(false, 0x4000, sim.Thunk(func() { warmT = eng.Now() - start }))
+	h.CorePort(0).Access(false, 0x4000, sim.Thunk(sim.CompCache, func() { warmT = eng.Now() - start }))
 	eng.Run()
 	// Cold miss must traverse L1+L2+L3+DRAM; warm hit costs L1 latency.
 	if coldT < 135 {
@@ -177,10 +177,10 @@ func TestHierarchyNVMSlower(t *testing.T) {
 	h := NewHierarchy(eng, 1, PortFunc(ctl.Access))
 	var dramT, nvmT sim.Time
 	start := eng.Now()
-	h.CorePort(0).Access(false, 0x10000, sim.Thunk(func() { dramT = eng.Now() - start }))
+	h.CorePort(0).Access(false, 0x10000, sim.Thunk(sim.CompCache, func() { dramT = eng.Now() - start }))
 	eng.Run()
 	start = eng.Now()
-	h.CorePort(0).Access(false, mem.NVMBase+0x10000, sim.Thunk(func() { nvmT = eng.Now() - start }))
+	h.CorePort(0).Access(false, mem.NVMBase+0x10000, sim.Thunk(sim.CompCache, func() { nvmT = eng.Now() - start }))
 	eng.Run()
 	if nvmT <= dramT {
 		t.Fatalf("NVM miss (%d) should be slower than DRAM miss (%d)", nvmT, dramT)
@@ -228,7 +228,7 @@ func TestCacheAccountingProperty(t *testing.T) {
 		c, _ := testCache(eng, 3)
 		done := 0
 		for _, a := range addrs {
-			c.Access(false, uint64(a)*mem.LineSize, sim.Thunk(func() { done++ }))
+			c.Access(false, uint64(a)*mem.LineSize, sim.Thunk(sim.CompCache, func() { done++ }))
 		}
 		eng.Run()
 		total := c.Counters.Get("t.hits") + c.Counters.Get("t.misses")

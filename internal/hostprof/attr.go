@@ -1,0 +1,203 @@
+package hostprof
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"prosper/internal/sim"
+)
+
+// pkgComponents maps a Go package path to the simulated component whose
+// host cost its code represents. The roles mirror the event-owner tags in
+// internal/sim: machine and workload code both execute the program's
+// instruction stream (CompWorkload); runner/telemetry/stats are simulator
+// infrastructure alongside the engine itself (CompSim).
+var pkgComponents = map[string]sim.Component{
+	"prosper/internal/mem":       sim.CompMem,
+	"prosper/internal/cache":     sim.CompCache,
+	"prosper/internal/vm":        sim.CompVM,
+	"prosper/internal/kernel":    sim.CompKernel,
+	"prosper/internal/prosper":   sim.CompProsper,
+	"prosper/internal/persist":   sim.CompPersist,
+	"prosper/internal/machine":   sim.CompWorkload,
+	"prosper/internal/workload":  sim.CompWorkload,
+	"prosper/internal/sim":       sim.CompSim,
+	"prosper/internal/runner":    sim.CompSim,
+	"prosper/internal/telemetry": sim.CompSim,
+	"prosper/internal/stats":     sim.CompSim,
+}
+
+// funcPackage extracts the package path from a fully qualified function
+// name as pprof records it, e.g.
+// "prosper/internal/mem.(*Device).complete" → "prosper/internal/mem",
+// "runtime.mallocgc" → "runtime".
+func funcPackage(name string) string {
+	slash := strings.LastIndexByte(name, '/')
+	dot := strings.IndexByte(name[slash+1:], '.')
+	if dot < 0 {
+		return name
+	}
+	return name[:slash+1+dot]
+}
+
+// ComponentOf maps a function name to its owning component. Repository
+// packages not listed explicitly (cmd tools, analysis, crash, energy,
+// trace, experiments, hostprof itself) count as CompSim — they are host
+// tooling around the simulator; everything else (runtime, stdlib) is
+// CompOther.
+func ComponentOf(funcName string) sim.Component {
+	pkg := funcPackage(funcName)
+	if c, ok := pkgComponents[pkg]; ok {
+		return c
+	}
+	if strings.HasPrefix(pkg, "prosper/") || pkg == "prosper" || pkg == "main" {
+		return sim.CompSim
+	}
+	return sim.CompOther
+}
+
+// Attribution is a per-component decomposition of one profile dimension.
+// Flat charges each sample's value to the leaf frame's component; Cum
+// charges it once to every distinct component on the stack, so a
+// component's Cum includes work it caused lower in the call tree (e.g.
+// runtime memmove under a persist copy loop stays CompOther flat but
+// CompPersist cumulative).
+type Attribution struct {
+	SampleType ValueType
+	Total      int64
+	SampleN    int
+	Flat       [sim.NumComponents]int64
+	Cum        [sim.NumComponents]int64
+}
+
+// Attribute decomposes the profile's valueIndex-th sample dimension by
+// component. valueIndex < 0 selects the last dimension, which for Go
+// runtime profiles is the interesting one (cpu/nanoseconds,
+// inuse_space/bytes).
+func Attribute(p *Profile, valueIndex int) (Attribution, error) {
+	if valueIndex < 0 {
+		valueIndex = len(p.SampleTypes) - 1
+	}
+	if valueIndex >= len(p.SampleTypes) {
+		return Attribution{}, fmt.Errorf("hostprof: sample value index %d out of range (profile has %d sample types)", valueIndex, len(p.SampleTypes))
+	}
+	a := Attribution{SampleType: p.SampleTypes[valueIndex]}
+	for _, s := range p.Samples {
+		v := s.Values[valueIndex]
+		if v == 0 {
+			continue
+		}
+		a.SampleN++
+		a.Total += v
+		stack := p.FuncStack(s)
+		if len(stack) == 0 {
+			a.Flat[sim.CompOther] += v
+			a.Cum[sim.CompOther] += v
+			continue
+		}
+		a.Flat[ComponentOf(stack[0])] += v
+		var seen [sim.NumComponents]bool
+		for _, fn := range stack {
+			seen[ComponentOf(fn)] = true
+		}
+		for c, hit := range seen {
+			if hit {
+				a.Cum[c] += v
+			}
+		}
+	}
+	return a, nil
+}
+
+// SampleTypeIndex returns the index of the sample type with the given
+// name, or -1 if absent.
+func (p *Profile) SampleTypeIndex(name string) int {
+	for i, vt := range p.SampleTypes {
+		if vt.Type == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func pct(part, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}
+
+// Table renders the attribution as a fixed-width text table, rows sorted
+// by flat value descending (ties broken by component declaration order,
+// so output is deterministic for identical input). All-zero components
+// are omitted.
+func (a Attribution) Table() string {
+	order := make([]sim.Component, 0, sim.NumComponents)
+	for _, c := range sim.Components() {
+		if a.Flat[c] != 0 || a.Cum[c] != 0 {
+			order = append(order, c)
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return a.Flat[order[i]] > a.Flat[order[j]]
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "sample type: %s/%s, total %d over %d samples\n",
+		a.SampleType.Type, a.SampleType.Unit, a.Total, a.SampleN)
+	fmt.Fprintf(&b, "%-10s %14s %7s %14s %7s\n", "component", "flat", "flat%", "cum", "cum%")
+	for _, c := range order {
+		fmt.Fprintf(&b, "%-10s %14d %6.1f%% %14d %6.1f%%\n",
+			c.String(), a.Flat[c], pct(a.Flat[c], a.Total), a.Cum[c], pct(a.Cum[c], a.Total))
+	}
+	return b.String()
+}
+
+// componentJSON is one row of the JSON report.
+type componentJSON struct {
+	Component string  `json:"component"`
+	Flat      int64   `json:"flat"`
+	FlatPct   float64 `json:"flat_pct"`
+	Cum       int64   `json:"cum"`
+	CumPct    float64 `json:"cum_pct"`
+}
+
+type attributionJSON struct {
+	SampleType string          `json:"sample_type"`
+	Unit       string          `json:"unit"`
+	Total      int64           `json:"total"`
+	Samples    int             `json:"samples"`
+	Components []componentJSON `json:"components"`
+}
+
+// JSON renders the attribution as an indented JSON report with one entry
+// per component in declaration order (zero components included, so the
+// shape is fixed).
+func (a Attribution) JSON() ([]byte, error) {
+	out := attributionJSON{
+		SampleType: a.SampleType.Type,
+		Unit:       a.SampleType.Unit,
+		Total:      a.Total,
+		Samples:    a.SampleN,
+	}
+	for _, c := range sim.Components() {
+		out.Components = append(out.Components, componentJSON{
+			Component: c.String(),
+			Flat:      a.Flat[c],
+			FlatPct:   round1(pct(a.Flat[c], a.Total)),
+			Cum:       a.Cum[c],
+			CumPct:    round1(pct(a.Cum[c], a.Total)),
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// round1 rounds to one decimal place so the JSON stays readable and
+// byte-stable for identical input.
+func round1(x float64) float64 {
+	if x < 0 {
+		return -round1(-x)
+	}
+	return float64(int64(x*10+0.5)) / 10
+}

@@ -1,0 +1,228 @@
+package hostprof
+
+import (
+	"bytes"
+	"compress/gzip"
+)
+
+// Builder constructs synthetic pprof profiles for tests and committed
+// fixtures. It emits the same field subset Parse reads, with IDs and
+// string-table entries assigned in first-use order, so a given build
+// sequence always produces identical bytes — that is what lets
+// cmd/prosper-prof commit a generated-once fixture and a golden report.
+type Builder struct {
+	sampleTypes []ValueType
+	periodType  ValueType
+	period      int64
+	timeNanos   int64
+	duration    int64
+
+	strs    []string
+	strIdx  map[string]uint64
+	funcIDs map[string]uint64
+	locIDs  map[string]uint64
+	funcs   []uint64   // name string index per function, id = position+1
+	locs    [][]uint64 // function ids (leaf-first) per location, id = position+1
+	samples []builderSample
+}
+
+type builderSample struct {
+	locIDs []uint64
+	values []int64
+}
+
+// NewBuilder starts a profile with the given sample types.
+func NewBuilder(types ...ValueType) *Builder {
+	b := &Builder{
+		sampleTypes: types,
+		strIdx:      map[string]uint64{},
+		funcIDs:     map[string]uint64{},
+		locIDs:      map[string]uint64{},
+	}
+	b.str("") // string table entry 0 must be the empty string
+	return b
+}
+
+// SetPeriod records the sampling period and its type.
+func (b *Builder) SetPeriod(vt ValueType, period int64) { b.periodType, b.period = vt, period }
+
+// SetTimes records profile start time and duration in nanoseconds.
+func (b *Builder) SetTimes(timeNanos, durationNanos int64) {
+	b.timeNanos, b.duration = timeNanos, durationNanos
+}
+
+func (b *Builder) str(s string) uint64 {
+	if i, ok := b.strIdx[s]; ok {
+		return i
+	}
+	i := uint64(len(b.strs))
+	b.strs = append(b.strs, s)
+	b.strIdx[s] = i
+	return i
+}
+
+func (b *Builder) funcID(name string) uint64 {
+	if id, ok := b.funcIDs[name]; ok {
+		return id
+	}
+	b.funcs = append(b.funcs, b.str(name))
+	id := uint64(len(b.funcs))
+	b.funcIDs[name] = id
+	return id
+}
+
+// locID returns a location covering the given functions leaf-first (more
+// than one function models inlining).
+func (b *Builder) locID(fns ...string) uint64 {
+	key := ""
+	for _, fn := range fns {
+		key += fn + "\x00"
+	}
+	if id, ok := b.locIDs[key]; ok {
+		return id
+	}
+	ids := make([]uint64, len(fns))
+	for i, fn := range fns {
+		ids[i] = b.funcID(fn)
+	}
+	b.locs = append(b.locs, ids)
+	id := uint64(len(b.locs))
+	b.locIDs[key] = id
+	return id
+}
+
+// Sample adds one stack sample. stack is leaf-first function names; each
+// element becomes one location. values must match the sample types.
+func (b *Builder) Sample(stack []string, values ...int64) {
+	s := builderSample{values: values}
+	for _, fn := range stack {
+		s.locIDs = append(s.locIDs, b.locID(fn))
+	}
+	b.samples = append(b.samples, s)
+}
+
+// SampleInlined is Sample with the leaf location carrying extra inlined
+// frames (leafInline leaf-first), exercising multi-Line locations.
+func (b *Builder) SampleInlined(leafInline []string, rest []string, values ...int64) {
+	s := builderSample{values: values}
+	s.locIDs = append(s.locIDs, b.locID(leafInline...))
+	for _, fn := range rest {
+		s.locIDs = append(s.locIDs, b.locID(fn))
+	}
+	b.samples = append(b.samples, s)
+}
+
+// protobuf writer helpers.
+
+func putVarint(buf *bytes.Buffer, v uint64) {
+	for v >= 0x80 {
+		buf.WriteByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	buf.WriteByte(byte(v))
+}
+
+func putTag(buf *bytes.Buffer, field, wire int) {
+	putVarint(buf, uint64(field)<<3|uint64(wire))
+}
+
+func putBytes(buf *bytes.Buffer, field int, body []byte) {
+	putTag(buf, field, wireBytes)
+	putVarint(buf, uint64(len(body)))
+	buf.Write(body)
+}
+
+func putInt(buf *bytes.Buffer, field int, v uint64) {
+	putTag(buf, field, wireVarint)
+	putVarint(buf, v)
+}
+
+func putPacked(buf *bytes.Buffer, field int, vals []uint64) {
+	var body bytes.Buffer
+	for _, v := range vals {
+		putVarint(&body, v)
+	}
+	putBytes(buf, field, body.Bytes())
+}
+
+func (b *Builder) valueTypeBytes(vt ValueType) []byte {
+	var body bytes.Buffer
+	putInt(&body, 1, b.str(vt.Type))
+	putInt(&body, 2, b.str(vt.Unit))
+	return body.Bytes()
+}
+
+// Encode serializes the profile as a raw (un-gzipped) protobuf message.
+func (b *Builder) Encode() []byte {
+	var out bytes.Buffer
+	// Interning strings for sample/period types happens lazily in
+	// valueTypeBytes, so run those first into scratch buffers.
+	var typeBufs [][]byte
+	for _, vt := range b.sampleTypes {
+		typeBufs = append(typeBufs, b.valueTypeBytes(vt))
+	}
+	var periodBuf []byte
+	if b.periodType != (ValueType{}) {
+		periodBuf = b.valueTypeBytes(b.periodType)
+	}
+	for _, tb := range typeBufs {
+		putBytes(&out, 1, tb)
+	}
+	for _, s := range b.samples {
+		var body bytes.Buffer
+		putPacked(&body, 1, s.locIDs)
+		vals := make([]uint64, len(s.values))
+		for i, v := range s.values {
+			vals[i] = uint64(v)
+		}
+		putPacked(&body, 2, vals)
+		putBytes(&out, 2, body.Bytes())
+	}
+	for i, fns := range b.locs {
+		var body bytes.Buffer
+		putInt(&body, 1, uint64(i+1))
+		for _, fid := range fns {
+			var line bytes.Buffer
+			putInt(&line, 1, fid)
+			putBytes(&body, 4, line.Bytes())
+		}
+		putBytes(&out, 4, body.Bytes())
+	}
+	for i, nameIdx := range b.funcs {
+		var body bytes.Buffer
+		putInt(&body, 1, uint64(i+1))
+		putInt(&body, 2, nameIdx)
+		putBytes(&out, 5, body.Bytes())
+	}
+	for _, s := range b.strs {
+		putBytes(&out, 6, []byte(s))
+	}
+	if b.timeNanos != 0 {
+		putInt(&out, 9, uint64(b.timeNanos))
+	}
+	if b.duration != 0 {
+		putInt(&out, 10, uint64(b.duration))
+	}
+	if periodBuf != nil {
+		putBytes(&out, 11, periodBuf)
+	}
+	if b.period != 0 {
+		putInt(&out, 12, uint64(b.period))
+	}
+	return out.Bytes()
+}
+
+// EncodeGzip serializes the profile gzipped, as runtime/pprof writes it.
+// The gzip header carries no timestamp, so output depends only on the
+// build sequence.
+func (b *Builder) EncodeGzip() []byte {
+	var out bytes.Buffer
+	zw := gzip.NewWriter(&out)
+	if _, err := zw.Write(b.Encode()); err != nil {
+		panic(err) // bytes.Buffer writes cannot fail
+	}
+	if err := zw.Close(); err != nil {
+		panic(err)
+	}
+	return out.Bytes()
+}

@@ -3,6 +3,7 @@ package kernel
 import (
 	"prosper/internal/mem"
 	"prosper/internal/persist"
+	"prosper/internal/sim"
 	"prosper/internal/telemetry"
 	"prosper/internal/workload"
 )
@@ -15,7 +16,7 @@ import (
 func (k *Kernel) checkpointProcess(p *Process, done func()) {
 	if p.checkpointing || p.Done() {
 		if done != nil {
-			k.Eng.Schedule(0, done)
+			k.Eng.Schedule(sim.CompKernel, 0, done)
 		}
 		return
 	}

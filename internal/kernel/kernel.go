@@ -105,7 +105,7 @@ func New(cfg Config) *Kernel {
 	k.super = loadOrInitSuperblock(m.Storage, m.PersistNVM)
 	for _, cs := range k.cores {
 		cs := cs
-		m.Eng.NewTicker(cfg.Quantum, func() { k.timerTick(cs) })
+		m.Eng.NewTicker(sim.CompKernel, cfg.Quantum, func() { k.timerTick(cs) })
 	}
 	k.buildMetrics()
 	k.startTelemetry()
@@ -195,7 +195,7 @@ func (k *Kernel) startTelemetry() {
 		every = 10 * sim.Microsecond
 	}
 	reg := k.Metrics
-	m.Eng.NewTicker(every, func() {
+	m.Eng.NewTicker(sim.CompSim, every, func() {
 		k.Trace.Sample(probes)
 		k.Trace.SnapshotMetrics(reg)
 	})
@@ -257,7 +257,7 @@ func (k *Kernel) scheduleNext(cs *coreState) {
 	k.Counters.Inc("kernel.context_switches")
 	k.installContext(cs, t)
 	start := k.Eng.Now()
-	k.Eng.Schedule(k.Cfg.ContextSwitchCost, func() {
+	k.Eng.Schedule(sim.CompKernel, k.Cfg.ContextSwitchCost, func() {
 		t.mech.OnScheduleIn(cs.core, func() {
 			t.Proc.heapScheduleIn(cs.core, func() {
 				k.Counters.Add("kernel.ctxswitch_in_cycles", uint64(k.Eng.Now()-start))

@@ -256,7 +256,7 @@ func (k *Kernel) Spawn(cfg ProcessConfig, progs ...workload.Program) *Process {
 		k.enqueue(t)
 	}
 	if cfg.CheckpointInterval > 0 {
-		p.ckptTicker = k.Eng.NewTicker(cfg.CheckpointInterval, func() { k.checkpointProcess(p, nil) })
+		p.ckptTicker = k.Eng.NewTicker(sim.CompKernel, cfg.CheckpointInterval, func() { k.checkpointProcess(p, nil) })
 	}
 	return p
 }

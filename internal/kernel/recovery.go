@@ -5,6 +5,7 @@ import (
 
 	"prosper/internal/mem"
 	"prosper/internal/persist"
+	"prosper/internal/sim"
 	"prosper/internal/stats"
 	"prosper/internal/vm"
 	"prosper/internal/workload"
@@ -176,7 +177,7 @@ func (k *Kernel) RecoverProcess(cfg ProcessConfig, progs []workload.Program, don
 			k.enqueue(t)
 		}
 		if cfg.CheckpointInterval > 0 {
-			p.ckptTicker = k.Eng.NewTicker(cfg.CheckpointInterval, func() { k.checkpointProcess(p, nil) })
+			p.ckptTicker = k.Eng.NewTicker(sim.CompKernel, cfg.CheckpointInterval, func() { k.checkpointProcess(p, nil) })
 		}
 		if done != nil {
 			done(p)
@@ -188,7 +189,7 @@ func (k *Kernel) RecoverProcess(cfg ProcessConfig, progs []workload.Program, don
 	if p.heapMech != nil {
 		p.heapMech.Recover(complete)
 	} else {
-		k.Eng.Schedule(0, func() { complete() })
+		k.Eng.Schedule(sim.CompKernel, 0, func() { complete() })
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package kernel
 import (
 	"encoding/binary"
 
+	"prosper/internal/sim"
 	"prosper/internal/workload"
 )
 
@@ -29,7 +30,7 @@ func (k *Kernel) step(t *Thread, cs *coreState) {
 	case workload.Compute:
 		t.UserOps += uint64(op.Cycles) // a compute block is ~1 op/cycle
 		t.UserCycles += uint64(op.Cycles)
-		k.Eng.Schedule(op.Cycles, t.stepFn)
+		k.Eng.Schedule(sim.CompKernel, op.Cycles, t.stepFn)
 	case workload.Load:
 		if op.SP != 0 {
 			t.sp = op.SP
@@ -61,7 +62,7 @@ func (t *Thread) finishOp() {
 	k := t.Proc.kern
 	t.UserOps++
 	t.UserCycles += uint64(k.Eng.Now()-t.opStart) + 1
-	k.Eng.Schedule(1, t.stepFn)
+	k.Eng.Schedule(sim.CompKernel, 1, t.stepFn)
 }
 
 // storeData produces the deterministic payload for a store: a pattern
@@ -106,7 +107,7 @@ func (k *Kernel) parkOrRequeue(t *Thread) {
 func (k *Kernel) pauseThread(t *Thread, done func()) {
 	switch t.state {
 	case threadDone, threadPaused:
-		k.Eng.Schedule(0, done)
+		k.Eng.Schedule(sim.CompKernel, 0, done)
 	case threadReady:
 		// Off-core: its mechanism state was already saved at yield.
 		// Remove from the run queue and park directly.
@@ -118,7 +119,7 @@ func (k *Kernel) pauseThread(t *Thread, done func()) {
 			}
 		}
 		t.state = threadPaused
-		k.Eng.Schedule(0, done)
+		k.Eng.Schedule(sim.CompKernel, 0, done)
 	case threadRunning:
 		t.pauseRequested = true
 		t.needYield = true

@@ -80,7 +80,7 @@ func newCore(m *Machine, id int) *Core {
 		storeCredits: m.Cfg.StoreBuffer,
 		Counters:     stats.NewCounters(),
 	}
-	c.relCreditTok = sim.Thunk(c.releaseStoreCredit)
+	c.relCreditTok = sim.Thunk(sim.CompWorkload, c.releaseStoreCredit)
 	return c
 }
 
@@ -159,7 +159,7 @@ func (c *Core) allocSeg() *segOp {
 	}
 	s := &segOp{core: c}
 	s.translatedFn = s.translated
-	s.lineDoneTok = sim.Thunk(s.lineDone)
+	s.lineDoneTok = sim.Thunk(sim.CompWorkload, s.lineDone)
 	s.issueFn = s.issue
 	s.creditFn = s.credited
 	return s
@@ -177,7 +177,7 @@ func (c *Core) allocWalk() *walkOp {
 		return w
 	}
 	w := &walkOp{core: c}
-	w.stepFn = sim.Thunk(w.step)
+	w.stepFn = sim.Thunk(sim.CompVM, w.step)
 	return w
 }
 
@@ -307,7 +307,7 @@ func (c *Core) fault(vaddr uint64, write bool, k func(uint64)) {
 		panic("machine: " + err.Error())
 	}
 	c.TLB.Invalidate(vaddr)
-	c.eng.Schedule(c.mach.Cfg.PageFaultCycles, func() {
+	c.eng.Schedule(sim.CompVM, c.mach.Cfg.PageFaultCycles, func() {
 		c.translate(vaddr, write, k)
 	})
 }
@@ -397,7 +397,7 @@ func (s *segOp) translated(paddr uint64) {
 	s.paddr = paddr
 	if stall > 0 {
 		c.Counters.Inc("core.store_hook_stalls")
-		c.eng.Schedule(stall, s.issueFn)
+		c.eng.Schedule(sim.CompWorkload, stall, s.issueFn)
 	} else {
 		s.issue()
 	}
@@ -468,8 +468,8 @@ func (c *Core) releaseStoreCredit() {
 // buffer (a store fence, used around checkpoints and context switches).
 func (c *Core) DrainStores(done func()) {
 	if c.storeCredits == c.mach.Cfg.StoreBuffer && c.swHead == len(c.storeWaiters) {
-		c.eng.Schedule(0, done)
+		c.eng.Schedule(sim.CompKernel, 0, done)
 		return
 	}
-	c.eng.Schedule(20, func() { c.DrainStores(done) })
+	c.eng.Schedule(sim.CompKernel, 20, func() { c.DrainStores(done) })
 }

@@ -177,12 +177,12 @@ func (op *copyOp) pump() {
 		i := uint64(op.issued)
 		op.issued++
 		op.inFlight++
-		op.m.Ctl.Access(false, op.srcLine+i*mem.LineSize, sim.Bind(op.srcDoneFn, i))
+		op.m.Ctl.Access(false, op.srcLine+i*mem.LineSize, sim.Bind(sim.CompPersist, op.srcDoneFn, i))
 	}
 }
 
 func (op *copyOp) srcDone(i uint64) {
-	op.m.Ctl.Access(true, op.dstLine+i*mem.LineSize, sim.Bind(op.dstDoneFn, i))
+	op.m.Ctl.Access(true, op.dstLine+i*mem.LineSize, sim.Bind(sim.CompPersist, op.dstDoneFn, i))
 }
 
 func (op *copyOp) dstDone(uint64) {
@@ -215,7 +215,7 @@ func (op *copyOp) dstDone(uint64) {
 func (m *Machine) CopyPhys(dst, src uint64, n int, done func()) {
 	if n <= 0 {
 		if done != nil {
-			m.Eng.Schedule(0, done)
+			m.Eng.Schedule(sim.CompPersist, 0, done)
 		}
 		return
 	}
@@ -253,7 +253,7 @@ func (m *Machine) allocFan() *fanOp {
 		return f
 	}
 	f := &fanOp{m: m}
-	f.lineDoneTok = sim.Thunk(f.lineDone)
+	f.lineDoneTok = sim.Thunk(sim.CompPersist, f.lineDone)
 	return f
 }
 
@@ -288,7 +288,7 @@ func (m *Machine) WritePhys(addr uint64, data []byte, done func()) {
 	lines := mem.LinesSpanned(addr, len(data))
 	if lines == 0 {
 		if done != nil {
-			m.Eng.Schedule(0, done)
+			m.Eng.Schedule(sim.CompPersist, 0, done)
 		}
 		return
 	}
@@ -308,7 +308,7 @@ func (m *Machine) ReadPhys(addr uint64, n int, done func([]byte)) {
 	lines := mem.LinesSpanned(addr, n)
 	if lines == 0 {
 		if done != nil {
-			m.Eng.Schedule(0, func() { done(buf) })
+			m.Eng.Schedule(sim.CompPersist, 0, func() { done(buf) })
 		}
 		return
 	}

@@ -227,7 +227,7 @@ func TestDrainStores(t *testing.T) {
 	m, core, _ := testEnv(t)
 	core.Write(0x10000, []byte{1}, nil)
 	drained := false
-	m.Eng.Schedule(1, func() { core.DrainStores(func() { drained = true }) })
+	m.Eng.Schedule(sim.CompOther, 1, func() { core.DrainStores(func() { drained = true }) })
 	m.Eng.Run()
 	if !drained {
 		t.Fatal("drain never completed")

@@ -246,7 +246,7 @@ func (d *Device) enqueueCompletion(finish sim.Time, c devCompletion) {
 	}
 	idx := d.allocBatch()
 	d.batches[idx].items = append(d.batches[idx].items, c)
-	d.eng.AtDone(finish, sim.Bind(d.completeFn, uint64(idx)))
+	d.eng.AtDone(finish, sim.Bind(sim.CompMem, d.completeFn, uint64(idx)))
 	d.openBatch = idx
 	d.openFinish = finish
 	d.openSeq = d.eng.ScheduleSeq()

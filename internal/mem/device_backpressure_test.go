@@ -48,10 +48,10 @@ func TestDeviceBackpressureTable(t *testing.T) {
 			d := NewDevice(eng, tc.cfg)
 			completed := 0
 			for i := 0; i < tc.reads; i++ {
-				d.Access(false, uint64(i)*LineSize, sim.Thunk(func() { completed++ }))
+				d.Access(false, uint64(i)*LineSize, sim.Thunk(sim.CompMem, func() { completed++ }))
 			}
 			for i := 0; i < tc.writes; i++ {
-				d.Access(true, uint64(tc.reads+i)*LineSize, sim.Thunk(func() { completed++ }))
+				d.Access(true, uint64(tc.reads+i)*LineSize, sim.Thunk(sim.CompMem, func() { completed++ }))
 			}
 
 			if got := d.Counters.Get(tc.cfg.Name + ".buffer_stalls"); got != tc.wantStalls {
@@ -112,7 +112,7 @@ func TestBackpressureDrainOrder(t *testing.T) {
 	var order []int
 	for i := 0; i < 6; i++ {
 		i := i
-		d.Access(true, uint64(i)*LineSize, sim.Thunk(func() { order = append(order, i) }))
+		d.Access(true, uint64(i)*LineSize, sim.Thunk(sim.CompMem, func() { order = append(order, i) }))
 	}
 	eng.Run()
 	if len(order) != 6 {

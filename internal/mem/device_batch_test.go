@@ -23,7 +23,7 @@ func TestDeviceCompletionBatching(t *testing.T) {
 		var order []int
 		for i := 0; i < n; i++ {
 			i := i
-			d.Access(false, uint64(i)<<LineShift, sim.Thunk(func() {
+			d.Access(false, uint64(i)<<LineShift, sim.Thunk(sim.CompMem, func() {
 				order = append(order, i)
 			}))
 		}
@@ -62,7 +62,7 @@ func TestDeviceCompletionNoFalseMerge(t *testing.T) {
 	})
 
 	var at []sim.Time
-	done := sim.Thunk(func() { at = append(at, eng.Now()) })
+	done := sim.Thunk(sim.CompMem, func() { at = append(at, eng.Now()) })
 	before := eng.Fired()
 	d.Access(false, 0, done)
 	d.Access(false, 1<<LineShift, done)

@@ -143,8 +143,8 @@ func TestDeviceLatencyOrdering(t *testing.T) {
 	eng := sim.NewEngine()
 	d := NewDevice(eng, DDR4Config())
 	var readDone, writeDone sim.Time
-	d.Access(false, 0x1000, sim.Thunk(func() { readDone = eng.Now() }))
-	d.Access(true, NVMBase, sim.Thunk(func() { writeDone = eng.Now() }))
+	d.Access(false, 0x1000, sim.Thunk(sim.CompMem, func() { readDone = eng.Now() }))
+	d.Access(true, NVMBase, sim.Thunk(sim.CompMem, func() { writeDone = eng.Now() }))
 	eng.Run()
 	if readDone < 135 {
 		t.Fatalf("read completed too early: %d", readDone)
@@ -156,8 +156,8 @@ func TestNVMWriteSlowerThanDRAM(t *testing.T) {
 	eng := sim.NewEngine()
 	c := NewController(eng)
 	var dramT, nvmT sim.Time
-	c.Access(true, 0x1000, sim.Thunk(func() { dramT = eng.Now() }))
-	c.Access(true, NVMBase+0x1000, sim.Thunk(func() { nvmT = eng.Now() }))
+	c.Access(true, 0x1000, sim.Thunk(sim.CompMem, func() { dramT = eng.Now() }))
+	c.Access(true, NVMBase+0x1000, sim.Thunk(sim.CompMem, func() { nvmT = eng.Now() }))
 	eng.Run()
 	if nvmT <= dramT*2 {
 		t.Fatalf("NVM write (%d) should be much slower than DRAM write (%d)", nvmT, dramT)
@@ -171,7 +171,7 @@ func TestDeviceBandwidthBacklog(t *testing.T) {
 	var last sim.Time
 	for i := 0; i < n; i++ {
 		addr := uint64(i) * LineSize
-		d.Access(false, addr, sim.Thunk(func() {
+		d.Access(false, addr, sim.Thunk(sim.CompMem, func() {
 			if eng.Now() > last {
 				last = eng.Now()
 			}
@@ -195,7 +195,7 @@ func TestNVMWriteBufferBackpressure(t *testing.T) {
 	const n = 200 // far more than the 48-entry write buffer
 	completed := 0
 	for i := 0; i < n; i++ {
-		d.Access(true, uint64(i)*LineSize, sim.Thunk(func() { completed++ }))
+		d.Access(true, uint64(i)*LineSize, sim.Thunk(sim.CompMem, func() { completed++ }))
 	}
 	if got := d.Counters.Get("nvm.buffer_stalls"); got == 0 {
 		t.Fatal("expected write-buffer stalls")

@@ -37,8 +37,8 @@ func (n *None) BeginInterval() {}
 
 // Checkpoint implements Mechanism.
 func (n *None) Checkpoint(done func(Result)) {
-	n.env.Eng().Schedule(0, func() { done(Result{}) })
+	n.env.Eng().Schedule(sim.CompPersist, 0, func() { done(Result{}) })
 }
 
 // Recover implements Mechanism.
-func (n *None) Recover(done func()) { n.env.Eng().Schedule(0, done) }
+func (n *None) Recover(done func()) { n.env.Eng().Schedule(sim.CompPersist, 0, done) }

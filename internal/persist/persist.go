@@ -361,11 +361,11 @@ type lineGather struct {
 // (used to charge scattered source gathers).
 func readPhysLines(m *machine.Machine, lines []uint64, done func()) {
 	if len(lines) == 0 {
-		m.Eng.Schedule(0, done)
+		m.Eng.Schedule(sim.CompPersist, 0, done)
 		return
 	}
 	g := &lineGather{m: m, lines: lines, done: done}
-	g.tok = sim.Thunk(g.lineDone)
+	g.tok = sim.Thunk(sim.CompPersist, g.lineDone)
 	g.pump()
 }
 
@@ -409,11 +409,11 @@ func (w *rangeWrite) lineDone() {
 func writePhysRange(m *machine.Machine, base uint64, n uint64, done func()) {
 	lines := mem.LinesSpanned(base, int(n))
 	if lines == 0 {
-		m.Eng.Schedule(0, done)
+		m.Eng.Schedule(sim.CompPersist, 0, done)
 		return
 	}
 	w := &rangeWrite{remaining: lines, done: done}
-	w.tok = sim.Thunk(w.lineDone)
+	w.tok = sim.Thunk(sim.CompPersist, w.lineDone)
 	for i := 0; i < lines; i++ {
 		m.Ctl.Access(true, mem.LineOf(base)+uint64(i)*mem.LineSize, w.tok)
 	}
@@ -453,7 +453,7 @@ func (b *base) recoverImage(done func()) {
 	minOffPlus1 := st.ReadU64(b.seg.MetaBase + metaMinOff)
 	if minOffPlus1 == 0 {
 		// Never checkpointed anything.
-		b.env.Eng().Schedule(0, done)
+		b.env.Eng().Schedule(sim.CompPersist, 0, done)
 		return
 	}
 	minOff := minOffPlus1 - 1
@@ -480,7 +480,7 @@ func (b *base) recoverImage(done func()) {
 		}
 		fired = true
 		if pending == 0 {
-			b.env.Eng().Schedule(0, done)
+			b.env.Eng().Schedule(sim.CompPersist, 0, done)
 		}
 	}
 
@@ -517,10 +517,10 @@ func (b *base) recoverImage(done func()) {
 func timedScan(m *machine.Machine, physBase uint64, bytes uint64, n uint64, perUnit sim.Time, done func()) {
 	cpu := sim.Time(n) * perUnit
 	if bytes == 0 {
-		m.Eng.Schedule(cpu, done)
+		m.Eng.Schedule(sim.CompPersist, cpu, done)
 		return
 	}
 	m.ReadPhys(physBase, int(bytes), func([]byte) {
-		m.Eng.Schedule(cpu, done)
+		m.Eng.Schedule(sim.CompPersist, cpu, done)
 	})
 }

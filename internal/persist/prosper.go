@@ -142,7 +142,7 @@ func (p *Prosper) OnScheduleIn(core *machine.Core, done func()) {
 	p.cur = tr
 	p.curCore = core.ID
 	p.Counters.Inc("prosper.schedule_in")
-	p.env.Eng().Schedule(msrWriteCost, done)
+	p.env.Eng().Schedule(sim.CompPersist, msrWriteCost, done)
 }
 
 // OnScheduleOut implements Mechanism: flush the lookup table, wait for
@@ -150,7 +150,7 @@ func (p *Prosper) OnScheduleIn(core *machine.Core, done func()) {
 func (p *Prosper) OnScheduleOut(core *machine.Core, done func()) {
 	tr := p.cur
 	if tr == nil {
-		p.env.Eng().Schedule(0, done)
+		p.env.Eng().Schedule(sim.CompPersist, 0, done)
 		return
 	}
 	// Inside a checkpoint epoch the table flush is its own pause cause;
@@ -163,7 +163,7 @@ func (p *Prosper) OnScheduleOut(core *machine.Core, done func()) {
 		p.curCore = -1
 		p.Counters.Inc("prosper.schedule_out")
 		p.env.Attrib.Switch(CauseQuiesce)
-		p.env.Eng().Schedule(msrWriteCost, done)
+		p.env.Eng().Schedule(sim.CompPersist, msrWriteCost, done)
 	})
 }
 

@@ -85,7 +85,7 @@ func (r *Romulus) Checkpoint(done func(Result)) {
 	res.Ranges = uint64(len(entries))
 	res.MetaScanned = uint64(len(entries))
 	if len(entries) == 0 {
-		r.env.Eng().Schedule(0, func() { done(res) })
+		r.env.Eng().Schedule(sim.CompPersist, 0, func() { done(res) })
 		return
 	}
 	m := r.env.Mach
@@ -144,6 +144,6 @@ func (r *Romulus) Recover(done func()) {
 	}
 	fired = true
 	if pending == 0 {
-		r.env.Eng().Schedule(0, done)
+		r.env.Eng().Schedule(sim.CompPersist, 0, done)
 	}
 }

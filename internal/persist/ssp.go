@@ -66,7 +66,7 @@ func (s *SSP) Attach(env *Env, seg Segment) {
 	s.working = make(map[uint64]uint64)
 	s.hot = make(map[uint64]bool)
 	s.pending = make(map[uint64]uint64)
-	s.ticker = env.Eng().NewTicker(s.cfg.ConsolidationInterval, s.consolidateTick)
+	s.ticker = env.Eng().NewTicker(sim.CompPersist, s.cfg.ConsolidationInterval, s.consolidateTick)
 }
 
 // Detach stops the consolidation thread (process exit).
@@ -214,7 +214,7 @@ func (s *SSP) Checkpoint(done func(Result)) {
 			done(res)
 		}
 	}
-	completeTok := sim.Thunk(complete)
+	completeTok := sim.Thunk(sim.CompPersist, complete)
 	for _, w := range work {
 		res.Ranges++
 		paddr, _, ok := s.env.AS.PT.Translate(w.page)
@@ -244,7 +244,7 @@ func (s *SSP) Checkpoint(done func(Result)) {
 	s.working = make(map[uint64]uint64)
 	fired = true
 	if pendingOps == 0 {
-		s.env.Eng().Schedule(0, func() {
+		s.env.Eng().Schedule(sim.CompPersist, 0, func() {
 			s.commitEpoch()
 			done(res)
 		})
@@ -276,7 +276,7 @@ func (s *SSP) Recover(done func()) {
 	m := s.env.Mach
 	st := m.Storage
 	if st.ReadU64(s.seg.MetaBase+metaPhase) == phaseEmpty {
-		s.env.Eng().Schedule(0, done)
+		s.env.Eng().Schedule(sim.CompPersist, 0, done)
 		return
 	}
 	type page struct {
@@ -295,7 +295,7 @@ func (s *SSP) Recover(done func()) {
 		pages = append(pages, page{va: s.seg.Lo + i*mem.PageSize, data: buf})
 	}
 	if len(pages) == 0 {
-		s.env.Eng().Schedule(0, done)
+		s.env.Eng().Schedule(sim.CompPersist, 0, done)
 		return
 	}
 	pending := len(pages)

@@ -150,8 +150,8 @@ func New(eng *sim.Engine, port cache.Port, storage *mem.Storage, cfg Config) *Tr
 		Counters:   stats.NewCounters(),
 		Histograms: stats.NewHistograms(),
 	}
-	t.loadDoneTok = sim.Thunk(t.loadRetired)
-	t.storeDoneTok = sim.Thunk(t.storeRetired)
+	t.loadDoneTok = sim.Thunk(sim.CompProsper, t.loadRetired)
+	t.storeDoneTok = sim.Thunk(sim.CompProsper, t.storeRetired)
 	t.cSOIs = t.Counters.Handle("prosper.sois")
 	t.cBitmapLoads = t.Counters.Handle("prosper.bitmap_loads")
 	t.cBitmapStores = t.Counters.Handle("prosper.bitmap_stores")
@@ -383,9 +383,9 @@ func (t *Tracker) FlushAndWait(done func()) {
 			done()
 			return
 		}
-		t.eng.Schedule(10, poll)
+		t.eng.Schedule(sim.CompProsper, 10, poll)
 	}
-	t.eng.Schedule(0, poll)
+	t.eng.Schedule(sim.CompProsper, 0, poll)
 }
 
 // TouchedRange returns the lowest and highest tracked byte touched during

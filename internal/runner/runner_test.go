@@ -154,7 +154,7 @@ func TestEngineDrains(t *testing.T) {
 	eng := sim.NewEngine()
 	fired := 0
 	for i := 0; i < 10; i++ {
-		eng.Schedule(sim.Time(i)*sim.Microsecond, func() { fired++ })
+		eng.Schedule(sim.CompOther, sim.Time(i)*sim.Microsecond, func() { fired++ })
 	}
 	eng.Run()
 	if fired != 10 {
@@ -163,7 +163,7 @@ func TestEngineDrains(t *testing.T) {
 	if err := eng.AssertDrained(); err != nil {
 		t.Fatalf("drained engine reported pending work: %v", err)
 	}
-	eng.Schedule(sim.Microsecond, func() {})
+	eng.Schedule(sim.CompOther, sim.Microsecond, func() {})
 	if err := eng.AssertDrained(); err == nil {
 		t.Fatal("AssertDrained missed a pending event")
 	}
@@ -214,5 +214,38 @@ func TestTraceDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 	if !bytes.Contains(m1, []byte(`"metrics":{`)) {
 		t.Fatal("metrics stream empty; determinism check proves nothing")
+	}
+}
+
+// TestSpecProfileCounts pins the Spec.Profile contract: the
+// per-component event counts cover every dispatched event (they sum
+// exactly to EventsFired), they are identical across repeated runs, and
+// an unprofiled spec leaves them zero.
+func TestSpecProfileCounts(t *testing.T) {
+	sp := testSpec("profiled", 1)
+	sp.Profile = true
+	a := sp.Run()
+	var sum uint64
+	for _, n := range a.EventCounts {
+		sum += n
+	}
+	if sum == 0 {
+		t.Fatal("profiled run recorded no events")
+	}
+	if sum != a.EventsFired {
+		t.Fatalf("EventCounts sum to %d, want EventsFired = %d", sum, a.EventsFired)
+	}
+	b := sp.Run()
+	if a.EventCounts != b.EventCounts {
+		t.Fatalf("EventCounts differ across identical runs:\n%v\n--- vs ---\n%v", a.EventCounts, b.EventCounts)
+	}
+
+	sp.Profile = false
+	c := sp.Run()
+	if c.EventCounts != ([sim.NumComponents]uint64{}) {
+		t.Fatalf("unprofiled run populated EventCounts: %v", c.EventCounts)
+	}
+	if c.EventsFired != a.EventsFired {
+		t.Fatalf("profiling changed EventsFired: %d vs %d", c.EventsFired, a.EventsFired)
 	}
 }

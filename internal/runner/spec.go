@@ -13,6 +13,7 @@
 package runner
 
 import (
+	"prosper/internal/hostprof"
 	"prosper/internal/kernel"
 	"prosper/internal/machine"
 	"prosper/internal/persist"
@@ -72,6 +73,13 @@ type Spec struct {
 	// SampleEvery is the telemetry sampling cadence in cycles
 	// (0: the kernel's 10 µs default).
 	SampleEvery sim.Time
+
+	// Profile enables per-component event-owner accounting on the run's
+	// engine (sim.Profile with the hostprof clock). The resulting
+	// EventCounts are deterministic; EventNanos is host wall time and
+	// informational. Off by default: the unprofiled dispatch path is the
+	// one the allocation ratchet pins.
+	Profile bool
 }
 
 // DisplayLabel returns Label, falling back to Name.
@@ -161,6 +169,13 @@ type RunStats struct {
 	// cycle, so it belongs in throughput tracking, never in the
 	// deterministic compare set.
 	EventsFired uint64
+
+	// EventCounts/EventNanos decompose the run's dispatched events by
+	// owning component (only populated when Spec.Profile is set).
+	// EventCounts is deterministic and sums exactly to EventsFired;
+	// EventNanos is batched host wall time, informational only.
+	EventCounts [sim.NumComponents]uint64
+	EventNanos  [sim.NumComponents]int64
 }
 
 // IPC returns the user-mode instructions-per-cycle of the run.
@@ -200,6 +215,12 @@ func (sp Spec) Run() RunStats {
 		Tracer:      sp.Tracer,
 		SampleEvery: sp.SampleEvery,
 	})
+	var prof *sim.Profile
+	if sp.Profile {
+		// kernel.New schedules events but fires none, so enabling here
+		// keeps the per-component counts summing exactly to Eng.Fired().
+		prof = k.Eng.EnableProfiling(hostprof.Nanotime)
+	}
 	runTrack := sp.Tracer.Track("run")
 	runSpan := sp.Tracer.Begin(runTrack, "run:"+sp.DisplayLabel())
 	pc := kernel.ProcessConfig{
@@ -288,6 +309,11 @@ func (sp Spec) Run() RunStats {
 	res.CtxSwitchOut = k.Counters.Get("kernel.ctxswitch_out_cycles")
 	res.SimEnd = k.Eng.Now()
 	res.EventsFired = k.Eng.Fired()
+	if prof != nil {
+		snap := prof.Snapshot()
+		res.EventCounts = snap.Counts
+		res.EventNanos = snap.Nanos
+	}
 	runSpan.End(
 		telemetry.U("user_ops", res.UserOps),
 		telemetry.U("checkpoints", res.Checkpoints),

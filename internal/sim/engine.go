@@ -41,13 +41,15 @@ const (
 // timestamps so ordering is deterministic FIFO. An event carries either a
 // plain callback (fn) or a prebound single-argument callback (afn+arg);
 // the latter lets hot paths schedule completions without materializing a
-// fresh closure per event.
+// fresh closure per event. comp tags the owning simulated component for
+// host profiling; it never affects ordering.
 type event struct {
 	when Time
 	seq  uint64
 	fn   func()
 	afn  func(uint64)
 	arg  uint64
+	comp Component
 }
 
 // less orders events by (when, seq). seq is unique, so this is a strict
@@ -68,21 +70,31 @@ func (ev event) less(other event) bool {
 //
 // The zero value is the "no completion" token (the old nil done):
 // Valid() is false and Run() is a no-op.
+//
+// A token carries the Component that owns its callback, declared once at
+// the Thunk/Bind birth site; ScheduleDone/AtDone attribute the resulting
+// event to that owner.
 type Done struct {
-	fn  func()
-	afn func(uint64)
-	arg uint64
+	fn   func()
+	afn  func(uint64)
+	arg  uint64
+	comp Component
 }
 
-// Thunk wraps a plain callback as a completion token. Wrapping is free;
-// creating fn itself may allocate, so hot paths should create it once and
-// reuse the token.
-func Thunk(fn func()) Done { return Done{fn: fn} }
+// Thunk wraps a plain callback as a completion token owned by comp.
+// Wrapping is free; creating fn itself may allocate, so hot paths should
+// create it once and reuse the token.
+func Thunk(comp Component, fn func()) Done { return Done{fn: fn, comp: comp} }
 
 // Bind wraps a single-argument callback plus its argument as a completion
-// token. The callback is typically a method value stored once on the
-// owning component; Bind itself never allocates.
-func Bind(fn func(uint64), arg uint64) Done { return Done{afn: fn, arg: arg} }
+// token owned by comp. The callback is typically a method value stored
+// once on the owning component; Bind itself never allocates.
+func Bind(comp Component, fn func(uint64), arg uint64) Done {
+	return Done{afn: fn, arg: arg, comp: comp}
+}
+
+// Component returns the owner declared when the token was built.
+func (d Done) Component() Component { return d.comp }
 
 // Valid reports whether the token carries a callback (the analogue of the
 // old `done != nil` check).
@@ -105,6 +117,7 @@ type Engine struct {
 	now   Time
 	seq   uint64
 	fired uint64
+	prof  *Profile // nil unless EnableProfiling was called
 }
 
 // NewEngine returns an empty engine at cycle zero.
@@ -140,25 +153,27 @@ func (e *Engine) AssertDrained() error {
 		len(e.queue), e.queue[0].when, e.now)
 }
 
-// Schedule runs fn delay cycles from now. A negative delay panics: the
-// simulator never travels backwards.
-func (e *Engine) Schedule(delay Time, fn func()) {
+// Schedule runs fn delay cycles from now, attributing the event to comp.
+// A negative delay panics: the simulator never travels backwards.
+func (e *Engine) Schedule(comp Component, delay Time, fn func()) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", delay))
 	}
-	e.At(e.now+delay, fn)
+	e.At(comp, e.now+delay, fn)
 }
 
-// At runs fn at the absolute cycle t, which must not be in the past.
-func (e *Engine) At(t Time, fn func()) {
+// At runs fn at the absolute cycle t, which must not be in the past,
+// attributing the event to comp.
+func (e *Engine) At(comp Component, t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
 	}
-	e.push(event{when: t, seq: e.seq, fn: fn})
+	e.push(event{when: t, seq: e.seq, fn: fn, comp: comp})
 	e.seq++
 }
 
-// ScheduleDone runs the completion token delay cycles from now.
+// ScheduleDone runs the completion token delay cycles from now. The event
+// is attributed to the token's owner.
 func (e *Engine) ScheduleDone(delay Time, d Done) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", delay))
@@ -166,12 +181,13 @@ func (e *Engine) ScheduleDone(delay Time, d Done) {
 	e.AtDone(e.now+delay, d)
 }
 
-// AtDone runs the completion token at the absolute cycle t.
+// AtDone runs the completion token at the absolute cycle t. The event is
+// attributed to the token's owner.
 func (e *Engine) AtDone(t Time, d Done) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
 	}
-	e.push(event{when: t, seq: e.seq, fn: d.fn, afn: d.afn, arg: d.arg})
+	e.push(event{when: t, seq: e.seq, fn: d.fn, afn: d.afn, arg: d.arg, comp: d.comp})
 	e.seq++
 }
 
@@ -247,6 +263,9 @@ func (e *Engine) Step() bool {
 	ev := e.pop()
 	e.now = ev.when
 	e.fired++
+	if e.prof != nil {
+		e.prof.record(ev.comp)
+	}
 	if ev.fn != nil {
 		ev.fn()
 	} else if ev.afn != nil {
@@ -284,24 +303,26 @@ func (e *Engine) RunWhile(cond func() bool) {
 // Ticker invokes fn every period cycles until Stop is called. The first
 // tick fires one period from the time Tick is created. The rescheduling
 // callback is bound once at construction and reused every period, so a
-// steady ticker contributes zero allocations per tick.
+// steady ticker contributes zero allocations per tick. Every tick event
+// is attributed to the component declared at construction.
 type Ticker struct {
 	engine  *Engine
 	period  Time
 	fn      func()
 	tickFn  func() // t.tick, materialized once
+	comp    Component
 	stopped bool
 }
 
-// NewTicker schedules fn to run every period cycles. period must be
-// positive.
-func (e *Engine) NewTicker(period Time, fn func()) *Ticker {
+// NewTicker schedules fn to run every period cycles, attributing tick
+// events to comp. period must be positive.
+func (e *Engine) NewTicker(comp Component, period Time, fn func()) *Ticker {
 	if period <= 0 {
 		panic("sim: ticker period must be positive")
 	}
-	t := &Ticker{engine: e, period: period, fn: fn}
+	t := &Ticker{engine: e, period: period, fn: fn, comp: comp}
 	t.tickFn = t.tick
-	e.Schedule(period, t.tickFn)
+	e.Schedule(comp, period, t.tickFn)
 	return t
 }
 
@@ -311,7 +332,7 @@ func (t *Ticker) tick() {
 	}
 	t.fn()
 	if !t.stopped {
-		t.engine.Schedule(t.period, t.tickFn)
+		t.engine.Schedule(t.comp, t.period, t.tickFn)
 	}
 }
 

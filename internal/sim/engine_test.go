@@ -9,9 +9,9 @@ import (
 func TestEngineOrdering(t *testing.T) {
 	e := NewEngine()
 	var order []int
-	e.Schedule(10, func() { order = append(order, 2) })
-	e.Schedule(5, func() { order = append(order, 1) })
-	e.Schedule(20, func() { order = append(order, 3) })
+	e.Schedule(CompOther, 10, func() { order = append(order, 2) })
+	e.Schedule(CompOther, 5, func() { order = append(order, 1) })
+	e.Schedule(CompOther, 20, func() { order = append(order, 3) })
 	e.Run()
 	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
 		t.Fatalf("wrong order: %v", order)
@@ -26,7 +26,7 @@ func TestEngineFIFOAtSameTime(t *testing.T) {
 	var order []int
 	for i := 0; i < 100; i++ {
 		i := i
-		e.Schedule(7, func() { order = append(order, i) })
+		e.Schedule(CompOther, 7, func() { order = append(order, i) })
 	}
 	e.Run()
 	for i, v := range order {
@@ -43,10 +43,10 @@ func TestEngineNestedScheduling(t *testing.T) {
 	rec = func() {
 		count++
 		if count < 10 {
-			e.Schedule(1, rec)
+			e.Schedule(CompOther, 1, rec)
 		}
 	}
-	e.Schedule(0, rec)
+	e.Schedule(CompOther, 0, rec)
 	e.Run()
 	if count != 10 {
 		t.Fatalf("count = %d, want 10", count)
@@ -59,8 +59,8 @@ func TestEngineNestedScheduling(t *testing.T) {
 func TestEngineRunUntil(t *testing.T) {
 	e := NewEngine()
 	fired := 0
-	e.Schedule(5, func() { fired++ })
-	e.Schedule(15, func() { fired++ })
+	e.Schedule(CompOther, 5, func() { fired++ })
+	e.Schedule(CompOther, 15, func() { fired++ })
 	e.RunUntil(10)
 	if fired != 1 {
 		t.Fatalf("fired = %d, want 1", fired)
@@ -80,25 +80,25 @@ func TestEngineNegativeDelayPanics(t *testing.T) {
 			t.Fatal("expected panic for negative delay")
 		}
 	}()
-	NewEngine().Schedule(-1, func() {})
+	NewEngine().Schedule(CompOther, -1, func() {})
 }
 
 func TestEnginePastSchedulePanics(t *testing.T) {
 	e := NewEngine()
-	e.Schedule(100, func() {})
+	e.Schedule(CompOther, 100, func() {})
 	e.Run()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for scheduling in the past")
 		}
 	}()
-	e.At(50, func() {})
+	e.At(CompOther, 50, func() {})
 }
 
 func TestTicker(t *testing.T) {
 	e := NewEngine()
 	ticks := 0
-	tk := e.NewTicker(10, func() {
+	tk := e.NewTicker(CompOther, 10, func() {
 		ticks++
 	})
 	e.RunUntil(55)
@@ -116,7 +116,7 @@ func TestTickerStopFromCallback(t *testing.T) {
 	e := NewEngine()
 	ticks := 0
 	var tk *Ticker
-	tk = e.NewTicker(3, func() {
+	tk = e.NewTicker(CompOther, 3, func() {
 		ticks++
 		if ticks == 4 {
 			tk.Stop()
@@ -144,7 +144,7 @@ func TestEngineOrderProperty(t *testing.T) {
 		for i, d := range delays {
 			when := Time(d)
 			i := i
-			e.At(when, func() { fired = append(fired, rec{e.Now(), i}) })
+			e.At(CompOther, when, func() { fired = append(fired, rec{e.Now(), i}) })
 		}
 		e.Run()
 		if len(fired) != len(delays) {
@@ -257,7 +257,7 @@ func TestHeapMatchesReferenceSort(t *testing.T) {
 			id := order
 			order++
 			want = append(want, rec{when, id})
-			e.At(when, func() { got = append(got, id) })
+			e.At(CompOther, when, func() { got = append(got, id) })
 		}
 		for i, d := range delays {
 			if i >= 128 {
@@ -265,14 +265,17 @@ func TestHeapMatchesReferenceSort(t *testing.T) {
 			}
 			add(Time(d))
 			// Occasionally schedule a follow-up from inside an event, so
-			// pushes interleave with pops mid-run.
+			// pushes interleave with pops mid-run. The follow-up's id is
+			// assigned when it is actually scheduled (inside the wrapper),
+			// matching the engine's seq assignment: an event scheduled
+			// mid-run ties AFTER every pre-run event at the same timestamp.
 			if i < len(nested) && nested[i]%3 == 0 {
-				id := order
-				order++
 				extra := Time(d) + Time(nested[i])
-				want = append(want, rec{extra, id})
-				e.At(Time(d), func() {
-					e.At(extra, func() { got = append(got, id) })
+				e.At(CompOther, Time(d), func() {
+					id := order
+					order++
+					want = append(want, rec{extra, id})
+					e.At(CompOther, extra, func() { got = append(got, id) })
 				})
 			}
 		}
@@ -304,10 +307,10 @@ func TestHeapMatchesReferenceSort(t *testing.T) {
 func TestScheduleSteadyStateAllocs(t *testing.T) {
 	e := NewEngine()
 	fn := func() {}
-	tok := Thunk(fn)
+	tok := Thunk(CompOther, fn)
 	allocs := testing.AllocsPerRun(500, func() {
 		for i := 0; i < 32; i++ {
-			e.Schedule(Time(i%7), fn)
+			e.Schedule(CompOther, Time(i%7), fn)
 			e.ScheduleDone(Time(i%5), tok)
 		}
 		e.Run()
@@ -323,7 +326,7 @@ func TestScheduleSteadyStateAllocs(t *testing.T) {
 func TestTickerSteadyStateAllocs(t *testing.T) {
 	e := NewEngine()
 	ticks := 0
-	e.NewTicker(10, func() { ticks++ })
+	e.NewTicker(CompOther, 10, func() { ticks++ })
 	e.RunUntil(100) // warm: first ticks grow the queue
 	before := ticks
 	allocs := testing.AllocsPerRun(100, func() {

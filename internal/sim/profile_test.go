@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestComponentNames(t *testing.T) {
+	want := []string{"sim", "mem", "cache", "vm", "kernel", "prosper", "persist", "workload", "other"}
+	comps := Components()
+	if len(comps) != len(want) {
+		t.Fatalf("NumComponents = %d, want %d", len(comps), len(want))
+	}
+	for i, c := range comps {
+		if c.String() != want[i] {
+			t.Fatalf("component %d = %q, want %q", i, c.String(), want[i])
+		}
+	}
+	if Component(200).String() != "other" {
+		t.Fatalf("out-of-range component should stringify as other")
+	}
+}
+
+func TestProfileCountsSumToFired(t *testing.T) {
+	e := NewEngine()
+	p := e.EnableProfiling(nil)
+	if e.Profiling() != p {
+		t.Fatal("Profiling() did not return the attached profile")
+	}
+	for i := 0; i < 500; i++ {
+		c := Component(i % NumComponents)
+		e.Schedule(c, Time(i%13), func() {})
+	}
+	e.ScheduleDone(5, Thunk(CompMem, func() {}))
+	e.ScheduleDone(5, Bind(CompCache, func(uint64) {}, 7))
+	e.Run()
+	snap := p.Snapshot()
+	if snap.TotalEvents() != e.Fired() {
+		t.Fatalf("counts sum to %d, want Fired() = %d", snap.TotalEvents(), e.Fired())
+	}
+	if snap.Counts[CompMem] != 500/uint64(NumComponents)+1+1 {
+		// 500 events round-robined over 9 components: comps 0..4 get 56,
+		// comps 5..8 get 55; CompMem (index 1) gets 56, plus one Thunk.
+		t.Fatalf("CompMem count = %d", snap.Counts[CompMem])
+	}
+	if snap.Counts[CompCache] != 500/uint64(NumComponents)+1+1 {
+		t.Fatalf("CompCache count = %d", snap.Counts[CompCache])
+	}
+}
+
+// TestProfilingPreservesOrder proves the profiled dispatch fires events in
+// exactly the same (when, seq) order as the unprofiled dispatch: profiling
+// observes the stream, never reorders it.
+func TestProfilingPreservesOrder(t *testing.T) {
+	run := func(delays []uint16, profile bool) []int {
+		e := NewEngine()
+		if profile {
+			e.EnableProfiling(nil)
+		}
+		var got []int
+		for i, d := range delays {
+			id := i
+			e.Schedule(Component(i%NumComponents), Time(d), func() { got = append(got, id) })
+		}
+		e.Run()
+		return got
+	}
+	f := func(delays []uint16) bool {
+		if len(delays) > 128 {
+			delays = delays[:128]
+		}
+		plain := run(delays, false)
+		profiled := run(delays, true)
+		if len(plain) != len(profiled) {
+			return false
+		}
+		for i := range plain {
+			if plain[i] != profiled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProfileBatchedNanos drives the profiler past a batch boundary with a
+// synthetic clock and checks the elapsed time is spread over components in
+// proportion to their event counts within the batch.
+func TestProfileBatchedNanos(t *testing.T) {
+	e := NewEngine()
+	now := int64(0)
+	clock := func() int64 { return now }
+	p := e.EnableProfiling(clock)
+
+	// One full batch: 3/4 CompMem, 1/4 CompCache.
+	for i := 0; i < profileBatchEvents; i++ {
+		c := CompMem
+		if i%4 == 0 {
+			c = CompCache
+		}
+		e.Schedule(c, 0, func() {})
+	}
+	now = 4096 // 4 ns per event
+	e.Run()
+	snap := p.Snapshot()
+	if snap.Counts[CompMem] != profileBatchEvents*3/4 || snap.Counts[CompCache] != profileBatchEvents/4 {
+		t.Fatalf("counts = mem:%d cache:%d", snap.Counts[CompMem], snap.Counts[CompCache])
+	}
+	if snap.Nanos[CompMem] != 4096*3/4 {
+		t.Fatalf("CompMem nanos = %d, want %d", snap.Nanos[CompMem], 4096*3/4)
+	}
+	if snap.Nanos[CompCache] != 4096/4 {
+		t.Fatalf("CompCache nanos = %d, want %d", snap.Nanos[CompCache], 4096/4)
+	}
+	if snap.TotalNanos() != 4096 {
+		t.Fatalf("TotalNanos = %d, want 4096", snap.TotalNanos())
+	}
+
+	// A partial batch flushes on Snapshot.
+	for i := 0; i < 10; i++ {
+		e.Schedule(CompVM, 0, func() {})
+	}
+	now += 1000
+	e.Run()
+	snap = p.Snapshot()
+	if snap.Counts[CompVM] != 10 {
+		t.Fatalf("CompVM count = %d, want 10", snap.Counts[CompVM])
+	}
+	if snap.Nanos[CompVM] != 1000 {
+		t.Fatalf("CompVM nanos = %d, want 1000", snap.Nanos[CompVM])
+	}
+}
+
+// TestProfilingOnSteadyStateAllocs pins the profiled dispatch loop at zero
+// allocations too: per-component accounting is plain array arithmetic.
+func TestProfilingOnSteadyStateAllocs(t *testing.T) {
+	e := NewEngine()
+	e.EnableProfiling(nil)
+	fn := func() {}
+	tok := Thunk(CompMem, fn)
+	allocs := testing.AllocsPerRun(500, func() {
+		for i := 0; i < 32; i++ {
+			e.Schedule(CompCache, Time(i%7), fn)
+			e.ScheduleDone(Time(i%5), tok)
+		}
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("profiled scheduler allocates %.1f objects per batch, want 0", allocs)
+	}
+}

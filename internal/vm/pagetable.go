@@ -4,7 +4,12 @@
 //
 // The package is purely functional; timing (walk latency, TLB miss cost)
 // is charged by the machine's page walker, which reads the synthetic
-// physical addresses each table node carries.
+// physical addresses each table node carries. Host profiling follows the
+// same split: the walker's continuations and page-fault events are born
+// sim.CompVM, so engine event counts attribute walk/fault work here even
+// though this package schedules nothing itself, while pprof samples in
+// vm code attribute by package path (prosper-prof maps internal/vm to
+// the vm component).
 package vm
 
 import "fmt"
