@@ -51,6 +51,7 @@ import (
 	"sort"
 	"time"
 
+	"prosper/internal/crash"
 	"prosper/internal/persist"
 	"prosper/internal/runner"
 	"prosper/internal/sim"
@@ -111,6 +112,15 @@ type hostStats struct {
 	WallMillis int64  `json:"wall_ms"`
 	HeapAllocs uint64 `json:"heap_allocs"`
 	HeapBytes  uint64 `json:"heap_bytes"`
+	// The crash-sweep pair times the same seeded sweep with crash points
+	// forked from golden commit snapshots (the default) and with the
+	// legacy replay-from-zero path. Both are wall-clock and excluded
+	// from -compare; forking exists to make sweeps cheaper, and this is
+	// where to eyeball that it still does (the verdict equivalence
+	// itself is gated by internal/crash's TestForkedSweepMatchesLegacy).
+	SweepNote         string `json:"sweep_note"`
+	SweepForkedMillis int64  `json:"sweep_forked_wall_ms"`
+	SweepLegacyMillis int64  `json:"sweep_legacy_wall_ms"`
 }
 
 // suite returns the pinned run plan. The specs (workloads, mechanisms,
@@ -208,16 +218,20 @@ func runSuite(quick bool, workers int) report {
 	wall := time.Since(start) //prosperlint:ignore wallclock host metric: suite wall time goes in the report's host section, never into sim results
 	var ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms1)
+	sweepForked, sweepLegacy := timeSweeps(workers)
 
 	rep := report{
 		Schema:        schemaVersion,
 		Suite:         name,
 		Deterministic: map[string]map[string]uint64{},
 		Host: hostStats{
-			Note:       "host-dependent; varies run to run; excluded from -compare",
-			WallMillis: wall.Milliseconds(),
-			HeapAllocs: ms1.Mallocs - ms0.Mallocs,
-			HeapBytes:  ms1.TotalAlloc - ms0.TotalAlloc,
+			Note:              "host-dependent; varies run to run; excluded from -compare",
+			WallMillis:        wall.Milliseconds(),
+			HeapAllocs:        ms1.Mallocs - ms0.Mallocs,
+			HeapBytes:         ms1.TotalAlloc - ms0.TotalAlloc,
+			SweepNote:         "same seeded crash sweep, snapshot-forked vs legacy replay-from-zero; wall-clock, excluded from -compare; forked should stay at or below legacy",
+			SweepForkedMillis: sweepForked.Milliseconds(),
+			SweepLegacyMillis: sweepLegacy.Milliseconds(),
 		},
 	}
 	var simCycles, eventsFired uint64
@@ -263,6 +277,27 @@ func runSuite(quick bool, workers int) report {
 		rep.Throughput.KCyclesPerSec = round2(float64(simCycles) / 1e3 / secs)
 	}
 	return rep
+}
+
+// timeSweeps runs one pinned crash-sweep config through the
+// snapshot-forked path and the legacy replay-from-zero path and returns
+// the two wall times for the report's host section. It runs after the
+// suite's memory-stat window so it cannot perturb the allocation
+// ratchet. Sweep errors are fatal: the bench must not silently report
+// a sweep that never ran.
+func timeSweeps(workers int) (forked, legacy time.Duration) {
+	cfg := crash.Config{Mechanism: "dirtybit", Points: 16, Seed: 1, Workers: workers}
+	timeOne := func(c crash.Config) time.Duration {
+		start := time.Now() //prosperlint:ignore wallclock host metric: sweep wall time goes in the report's host section, never into sim results
+		if _, err := crash.Sweep(c); err != nil {
+			panic(err)
+		}
+		return time.Since(start) //prosperlint:ignore wallclock host metric: sweep wall time goes in the report's host section, never into sim results
+	}
+	forked = timeOne(cfg)
+	cfg.Legacy = true
+	legacy = timeOne(cfg)
+	return forked, legacy
 }
 
 // round2 keeps the throughput rates readable in committed baselines

@@ -9,6 +9,10 @@
 //	                    [fig1 fig2 ... | all | quick]
 //	prosper-experiments -crash-sweep [-crash-points n] [-crash-seed s]
 //	                    [-parallel n]
+//	prosper-experiments -snapshot-out FILE [-snapshot-at n]
+//	                    [-snapshot-mech m] [-snapshot-seed s]
+//	prosper-experiments -resume-from FILE [-snapshot-mech m]
+//	                    [-snapshot-seed s]
 //
 // "quick" runs the trace-driven motivation figures only (seconds);
 // "all" also runs the full-machine figures (minutes at default scale).
@@ -17,6 +21,12 @@
 // figures: every mechanism is crashed at -crash-points seeded cycles and
 // recovered from the surviving NVM image, and any recovery-invariant
 // violation makes the command exit non-zero (see EXPERIMENTS.md).
+//
+// -snapshot-out runs a deterministic checkpointing workload, saves the
+// full machine state at a chosen commit, and prints the run's headline
+// stats; -resume-from (same flags) restores that snapshot into a fresh
+// kernel, finishes the window, and prints identical stats. Malformed or
+// mismatched snapshots exit 2 with a typed diagnostic (DESIGN.md §14).
 //
 // Every figure is a declarative run plan executed on a bounded worker
 // pool (-parallel, default GOMAXPROCS). Each run owns a private
@@ -64,10 +74,27 @@ func main() {
 	crashSweep := flag.Bool("crash-sweep", false, "run the power-failure crash sweep over every mechanism instead of the figures")
 	crashPoints := flag.Int("crash-points", 64, "crash points per mechanism for -crash-sweep")
 	crashSeed := flag.Int64("crash-seed", 1, "PRNG seed for -crash-sweep point sampling")
+	snapshotOut := flag.String("snapshot-out", "", "run the snapshot spec and save a machine snapshot to FILE instead of the figures")
+	snapshotAt := flag.Int("snapshot-at", 2, "measured-window commit to snapshot at for -snapshot-out (counts from 1)")
+	resumeFrom := flag.String("resume-from", "", "resume the machine snapshot in FILE and finish its measured window instead of the figures")
+	snapshotMech := flag.String("snapshot-mech", "prosper", "stack mechanism for -snapshot-out / -resume-from")
+	snapshotSeed := flag.Uint64("snapshot-seed", 1, "workload seed for -snapshot-out / -resume-from")
 	flag.Parse()
 
 	if *crashSweep {
 		os.Exit(runCrashSweep(*crashPoints, *crashSeed, *parallel))
+	}
+	if *snapshotOut != "" && *resumeFrom != "" {
+		fmt.Fprintln(os.Stderr, "prosper-experiments: -snapshot-out and -resume-from are mutually exclusive")
+		os.Exit(2)
+	}
+	if *snapshotOut != "" {
+		os.Exit(runSnapshotSave(*snapshotOut, *snapshotMech, *snapshotSeed,
+			sim.Time(*intervalUS)*sim.Microsecond, *checkpoints, *snapshotAt))
+	}
+	if *resumeFrom != "" {
+		os.Exit(runResume(*resumeFrom, *snapshotMech, *snapshotSeed,
+			sim.Time(*intervalUS)*sim.Microsecond, *checkpoints))
 	}
 
 	scale := experiments.DefaultScale()

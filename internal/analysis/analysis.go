@@ -78,6 +78,7 @@ func AllPasses() []Pass {
 		NewWallclock(),
 		NewConcurrency(),
 		NewStatsKeys(),
+		NewSnapshot(),
 	}
 }
 

@@ -19,6 +19,7 @@ func TestGoldenJSON(t *testing.T) {
 		"testdata/src/concurrency",
 		"testdata/src/directive",
 		"testdata/src/maprange",
+		"testdata/src/snapshot",
 		"testdata/src/statskeys/fixa",
 		"testdata/src/statskeys/fixb",
 		"testdata/src/wallclock",

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Snapshot is the snapshot-coverage pass: for every type that
+// participates in machine snapshotting (it declares both a SaveSnap and
+// a LoadSnap method), each struct field mentioned on one side must be
+// mentioned on the other. The asymmetries are exactly the bug class the
+// resume gate exists for — a field that is saved but never restored
+// resumes stale, and a field restored but never saved resumes from
+// garbage — and both survive compilation silently.
+//
+// Mentions are collected transitively through same-receiver helper
+// methods (SaveSnap calling k.saveProc counts saveProc's mentions), and
+// a field a helper receives as an argument is counted at the call site.
+// Fields mentioned on neither side are deliberately out of scope: types
+// are full of boot-time wiring (engine pointers, configs, callbacks)
+// that snapshots rebuild rather than serialize. A deliberate asymmetry
+// (e.g. scratch state cleared on load) takes an ignore directive on the
+// field's declaration line, where the reason documents the field for
+// every reader.
+type Snapshot struct{}
+
+// NewSnapshot returns the pass.
+func NewSnapshot() *Snapshot { return &Snapshot{} }
+
+// Name implements Pass.
+func (*Snapshot) Name() string { return "snapshot" }
+
+// Doc implements Pass.
+func (*Snapshot) Doc() string {
+	return "struct fields touched by SaveSnap and LoadSnap must cover each other"
+}
+
+// recvTypeName unwraps a method receiver type expression to its named
+// type's identifier ("" when it has no plain name).
+func recvTypeName(e ast.Expr) string {
+	if star, ok := e.(*ast.StarExpr); ok {
+		e = star.X
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// Run implements Pass.
+func (s *Snapshot) Run(pkg *Package, r *Reporter) {
+	// Index every method declaration by receiver type name.
+	methods := make(map[string]map[string]*ast.FuncDecl)
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			recv := recvTypeName(fd.Recv.List[0].Type)
+			if recv == "" {
+				continue
+			}
+			if methods[recv] == nil {
+				methods[recv] = make(map[string]*ast.FuncDecl)
+			}
+			methods[recv][fd.Name.Name] = fd
+		}
+	}
+
+	recvs := make([]string, 0, len(methods))
+	for recv := range methods {
+		recvs = append(recvs, recv)
+	}
+	sort.Strings(recvs)
+	for _, recv := range recvs {
+		ms := methods[recv]
+		if ms["SaveSnap"] == nil || ms["LoadSnap"] == nil {
+			continue
+		}
+		obj := pkg.Pkg.Scope().Lookup(recv)
+		if obj == nil {
+			continue
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		saved := mentionClosure(ms, "SaveSnap")
+		loaded := mentionClosure(ms, "LoadSnap")
+		for i := 0; i < st.NumFields(); i++ {
+			field := st.Field(i)
+			name := field.Name()
+			switch {
+			case saved[name] && !loaded[name]:
+				r.Report("snapshot", field.Pos(), fmt.Sprintf(
+					"field %s.%s is mentioned by SaveSnap but not LoadSnap: a resumed machine never restores it", recv, name))
+			case loaded[name] && !saved[name]:
+				r.Report("snapshot", field.Pos(), fmt.Sprintf(
+					"field %s.%s is mentioned by LoadSnap but not SaveSnap: it is restored from state no snapshot carries", recv, name))
+			}
+		}
+	}
+}
+
+// mentionClosure collects every selector name mentioned in the given
+// method and, transitively, in every same-receiver method it calls.
+func mentionClosure(methods map[string]*ast.FuncDecl, root string) map[string]bool {
+	out := make(map[string]bool)
+	visited := make(map[string]bool)
+	var walk func(name string)
+	walk = func(name string) {
+		fd := methods[name]
+		if fd == nil || fd.Body == nil || visited[name] {
+			return
+		}
+		visited[name] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				out[n.Sel.Name] = true
+			case *ast.CallExpr:
+				switch fun := n.Fun.(type) {
+				case *ast.SelectorExpr:
+					if _, ok := methods[fun.Sel.Name]; ok {
+						walk(fun.Sel.Name)
+					}
+				case *ast.Ident:
+					if _, ok := methods[fun.Name]; ok {
+						walk(fun.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(root)
+	return out
+}

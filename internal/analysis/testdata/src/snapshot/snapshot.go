@@ -1,0 +1,47 @@
+// Package snapshot is a prosper-lint fixture for the snapshot
+// save/load coverage pass: every flagged field carries a
+// `want:<pass> "<substring>"` annotation consumed by analysis_test.go.
+package snapshot
+
+// buf is a stand-in for the snapshot byte writer/reader.
+type buf struct{ b []byte }
+
+func (w *buf) U64(v uint64)        { _ = v }
+func (r *buf) ReadU64() (v uint64) { return }
+
+// device is the checked type: it declares both SaveSnap and LoadSnap,
+// so every field one side mentions must be covered by the other.
+type device struct {
+	rows    uint64 // symmetric: saved and restored
+	cols    uint64 // symmetric: touched via the saveGeometry helper
+	seq     uint64 // want:snapshot "mentioned by SaveSnap but not LoadSnap"
+	scratch uint64 // want:snapshot "mentioned by LoadSnap but not SaveSnap"
+	//prosperlint:ignore snapshot fixture: documented asymmetry, cleared on load and rebuilt lazily
+	cache uint64
+	wired func() // mentioned by neither side: boot wiring is out of scope
+}
+
+// saveGeometry is a same-receiver helper: its mentions count for
+// SaveSnap transitively.
+func (d *device) saveGeometry(w *buf) {
+	w.U64(d.cols)
+}
+
+func (d *device) SaveSnap(w *buf) {
+	w.U64(d.rows)
+	d.saveGeometry(w)
+	w.U64(d.seq)
+}
+
+func (d *device) LoadSnap(r *buf) {
+	d.rows = r.ReadU64()
+	d.cols = r.ReadU64()
+	d.scratch = 0
+	d.cache = 0
+}
+
+// sink has a SaveSnap but no LoadSnap: not a snapshot pair, so the
+// pass leaves its asymmetric field alone.
+type sink struct{ drained uint64 }
+
+func (s *sink) SaveSnap(w *buf) { w.U64(s.drained) }

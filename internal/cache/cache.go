@@ -94,8 +94,9 @@ type Cache struct {
 	setMask  uint64
 	lruClock uint64
 
-	mshrs    map[uint64]*mshr
+	mshrs    map[uint64]*mshr //prosperlint:ignore snapshot SaveSnap asserts no in-flight misses; a fresh boot's empty MSHR map needs no restoring
 	mshrFree []*mshr          // retired MSHRs, reused with their waiter backing
+	//prosperlint:ignore snapshot SaveSnap asserts none are stalled; a fresh boot's empty list needs no restoring
 	blocked  []deferredAccess // accesses stalled on MSHR exhaustion
 	retryBuf []deferredAccess // spare backing swapped with blocked on retry
 

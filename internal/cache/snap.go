@@ -1,0 +1,92 @@
+package cache
+
+import (
+	"fmt"
+
+	"prosper/internal/snapbuf"
+)
+
+// SaveSnap encodes the level's tag arrays, LRU clock, and statistics.
+// Snapshots are taken at checkpoint-commit quiescent points where no
+// miss is in flight; a level with live MSHRs or stalled accesses rejects
+// the snapshot point rather than serializing continuations.
+func (c *Cache) SaveSnap(w *snapbuf.Writer) error {
+	if len(c.mshrs) != 0 || len(c.blocked) != 0 {
+		return fmt.Errorf("cache: %s has %d in-flight misses and %d blocked accesses at snapshot point",
+			c.cfg.Name, len(c.mshrs), len(c.blocked))
+	}
+	w.String(c.cfg.Name)
+	w.U64(uint64(len(c.sets)))
+	w.U64(uint64(c.cfg.Ways))
+	w.U64(c.lruClock)
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			ln := &c.sets[si][wi]
+			w.U64(ln.tag)
+			w.Bool(ln.valid)
+			w.Bool(ln.dirty)
+			w.U64(ln.lru)
+		}
+	}
+	c.Counters.SaveSnap(w)
+	c.Histograms.SaveSnap(w)
+	return nil
+}
+
+// LoadSnap restores a level of identical geometry.
+func (c *Cache) LoadSnap(r *snapbuf.Reader) error {
+	name := r.String()
+	sets := r.U64()
+	ways := r.U64()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if name != c.cfg.Name || sets != uint64(len(c.sets)) || ways != uint64(c.cfg.Ways) {
+		return fmt.Errorf("cache: geometry mismatch: snapshot %s %dx%d, machine %s %dx%d",
+			name, sets, ways, c.cfg.Name, len(c.sets), c.cfg.Ways)
+	}
+	c.lruClock = r.U64()
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			ln := &c.sets[si][wi]
+			ln.tag = r.U64()
+			ln.valid = r.Bool()
+			ln.dirty = r.Bool()
+			ln.lru = r.U64()
+		}
+	}
+	if err := c.Counters.LoadSnap(r); err != nil {
+		return err
+	}
+	return c.Histograms.LoadSnap(r)
+}
+
+// SaveSnap encodes every level of the hierarchy, L1s then L2s then L3.
+func (h *Hierarchy) SaveSnap(w *snapbuf.Writer) error {
+	for _, c := range h.L1D {
+		if err := c.SaveSnap(w); err != nil {
+			return err
+		}
+	}
+	for _, c := range h.L2 {
+		if err := c.SaveSnap(w); err != nil {
+			return err
+		}
+	}
+	return h.L3.SaveSnap(w)
+}
+
+// LoadSnap restores every level of an identically shaped hierarchy.
+func (h *Hierarchy) LoadSnap(r *snapbuf.Reader) error {
+	for _, c := range h.L1D {
+		if err := c.LoadSnap(r); err != nil {
+			return err
+		}
+	}
+	for _, c := range h.L2 {
+		if err := c.LoadSnap(r); err != nil {
+			return err
+		}
+	}
+	return h.L3.LoadSnap(r)
+}

@@ -44,6 +44,7 @@ import (
 	"prosper/internal/persist"
 	"prosper/internal/runner"
 	"prosper/internal/sim"
+	"prosper/internal/snapshot"
 	"prosper/internal/workload"
 )
 
@@ -119,6 +120,13 @@ type Config struct {
 	ADR bool
 	// Workers bounds the parallel crash-point runs (<= 0: GOMAXPROCS).
 	Workers int
+	// Legacy forces every crash point to replay the whole run from cycle
+	// zero. By default the sweep forks each point from the golden run's
+	// machine snapshot at the last commit before the crash cycle, which
+	// skips the shared prefix; the two modes produce identical verdicts
+	// (the resume gate guarantees byte-identical replay) and the
+	// equivalence test pins it.
+	Legacy bool
 }
 
 func (cfg Config) withDefaults() Config {
@@ -165,6 +173,11 @@ type Result struct {
 	ADR       bool
 	Commits   int // golden commits recorded
 	Points    []PointResult
+	// Forked counts the crash points that forked from a golden commit
+	// snapshot instead of replaying from cycle zero. Zero in Legacy
+	// mode, when a mechanism's commit state cannot be snapshotted, and
+	// for points that land before the first commit.
+	Forked int
 }
 
 // Violations returns the points whose recovery invariant broke.
@@ -209,6 +222,16 @@ type golden struct {
 	stacks      [][]byte   // golden [lo,hi) stack bytes per commit
 	sps         []uint64   // golden stack pointer per commit
 	stores      []storeRec
+	// machSnaps[k-1] is the full machine snapshot taken inside commit k's
+	// commit hook; crash points fork from the last one before their crash
+	// cycle. Empty when snapErr is set.
+	machSnaps [][]byte
+	// snapErr records why commit snapshots are unavailable, in which case
+	// every crash point replays from cycle zero. No in-tree mechanism
+	// trips it — all eight are snapshot-clean at commit — but the sweep
+	// must stay correct for one that is not, and the fallback test
+	// poisons this field to prove it.
+	snapErr error
 }
 
 // commitsBy returns P: how many commits were durable by cycle c.
@@ -311,6 +334,23 @@ func (cfg Config) capture() (*golden, error) {
 		g.stacks = append(g.stacks, readStack(k.Mach.Storage, p, th.StackSeg))
 		g.sps = append(g.sps, th.SP())
 	}
+	p.CommitHook = func(*kernel.Process) {
+		// Capture the machine snapshot crash points will fork from. The
+		// first save failure disables forking for the whole sweep: a
+		// mechanism that is not snapshot-clean at one commit is not
+		// snapshot-clean at any, and a partial snapshot ladder would make
+		// point results depend on which rung they happen to land on.
+		if cfg.Legacy || g.snapErr != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := snapshot.Save(&buf, k, nil); err != nil {
+			g.snapErr = err
+			g.machSnaps = nil
+			return
+		}
+		g.machSnaps = append(g.machSnaps, buf.Bytes())
+	}
 	// Romulus replays its whole store log entry by entry, so a commit can
 	// straddle several intervals (the ticker skips while a checkpoint is
 	// in flight); allow plenty of intervals per commit.
@@ -378,28 +418,61 @@ func (cfg Config) stackCheck() stackCheck {
 	}
 }
 
-// runPoint replays the spec, cuts power at cycle c, reboots on the
-// surviving image, and checks every recovery invariant.
-func (cfg Config) runPoint(g *golden, c sim.Time) PointResult {
+// bootToCrash reproduces the run's state just before the crash cycle:
+// a fresh kernel, either forked from the latest golden commit snapshot
+// at or before c (the default — the shared prefix is skipped) or, in
+// Legacy mode and for un-snapshottable mechanisms, replayed from cycle
+// zero. forked reports which path was taken.
+func (cfg Config) bootToCrash(g *golden, c sim.Time) (k *kernel.Kernel, forked bool, err error) {
+	k = kernel.New(kernel.Config{Machine: cfg.machineConfig()})
+	if _, _, err := cfg.spawn(k); err != nil {
+		return nil, false, err
+	}
+	idx := -1
+	if !cfg.Legacy && g.snapErr == nil {
+		for i := range g.machSnaps {
+			if g.commitCycle[i] <= c {
+				idx = i
+			} else {
+				break
+			}
+		}
+	}
+	if idx < 0 {
+		return k, false, nil
+	}
+	resumed, err := snapshot.Resume(bytes.NewReader(g.machSnaps[idx]), k)
+	if err != nil {
+		return nil, false, fmt.Errorf("fork from commit %d snapshot: %w", idx+1, err)
+	}
+	if err := resumed.Finish(); err != nil {
+		return nil, false, fmt.Errorf("fork from commit %d snapshot: %w", idx+1, err)
+	}
+	return k, true, nil
+}
+
+// runPoint replays or forks the spec, cuts power at cycle c, reboots on
+// the surviving image, and checks every recovery invariant.
+func (cfg Config) runPoint(g *golden, c sim.Time) (PointResult, bool) {
 	res := PointResult{Cycle: c, Commit: g.commitsBy(c)}
 
-	k := kernel.New(kernel.Config{Machine: cfg.machineConfig()})
-	if _, _, err := cfg.spawn(k); err != nil {
+	k, forked, err := cfg.bootToCrash(g, c)
+	if err != nil {
 		res.Violation = err.Error()
-		return res
+		return res, forked
 	}
 	img := Injector{At: c}.Inject(k)
 
 	if rep := kernel.Fsck(img); !rep.OK() {
 		res.Violation = fmt.Sprintf("fsck of surviving image: %v", rep.Problems)
-		return res
+		return res, forked
 	}
 
 	k2 := kernel.New(kernel.Config{Machine: machine.Config{Cores: 1, ADR: cfg.ADR, Storage: img}})
 	fac, err := factoryFor(cfg.Mechanism)
 	if err != nil {
 		res.Violation = err.Error()
-		return res
+		return res, forked
 	}
 	prog := workload.NewCounter(cfg.Iterations)
 	recovered := false
@@ -420,12 +493,12 @@ func (cfg Config) runPoint(g *golden, c sim.Time) PointResult {
 		if res.Commit >= 1 {
 			res.Violation = "recovery failed after a durable commit: " + err.Error()
 		}
-		return res
+		return res, forked
 	}
 	k2.Eng.RunWhile(func() bool { return !recovered })
 	if !recovered {
 		res.Violation = "recovery never completed (engine drained)"
-		return res
+		return res, forked
 	}
 	defer rp.Shutdown()
 	th := rp.Threads[0]
@@ -434,15 +507,15 @@ func (cfg Config) runPoint(g *golden, c sim.Time) PointResult {
 	p := res.Commit
 	if s != p && s != p+1 {
 		res.Violation = fmt.Sprintf("recovered epoch %d, want %d or %d", s, p, p+1)
-		return res
+		return res, forked
 	}
 	if s < 1 || int(s) > len(g.snaps) {
 		res.Violation = fmt.Sprintf("recovered epoch %d outside golden history (%d commits)", s, len(g.snaps))
-		return res
+		return res, forked
 	}
 	if got, want := prog.Snapshot(), g.snaps[s-1]; !bytes.Equal(got, want) {
 		res.Violation = fmt.Sprintf("execution position %x differs from committed epoch %d position %x", got, s, want)
-		return res
+		return res, forked
 	}
 
 	rec := readStack(k2.Mach.Storage, rp, th.StackSeg)
@@ -452,7 +525,7 @@ func (cfg Config) runPoint(g *golden, c sim.Time) PointResult {
 		for i, b := range rec {
 			if b != 0 {
 				res.Violation = fmt.Sprintf("unpersisted stack holds nonzero byte at %#x", g.lo+uint64(i))
-				return res
+				return res, forked
 			}
 		}
 	case checkFullImage:
@@ -460,7 +533,7 @@ func (cfg Config) runPoint(g *golden, c sim.Time) PointResult {
 			if rec[i] != want[i] {
 				res.Violation = fmt.Sprintf("stack byte %#x = %#02x differs from epoch %d image byte %#02x",
 					g.lo+uint64(i), rec[i], s, want[i])
-				return res
+				return res, forked
 			}
 		}
 	case checkLines:
@@ -471,11 +544,11 @@ func (cfg Config) runPoint(g *golden, c sim.Time) PointResult {
 			}
 			if !bytes.Equal(rec[off:off+mem.LineSize], want[off:off+mem.LineSize]) {
 				res.Violation = fmt.Sprintf("unmodified stack line %#x differs from epoch %d image", g.lo+off, s)
-				return res
+				return res, forked
 			}
 		}
 	}
-	return res
+	return res, forked
 }
 
 // Sweep runs the full crash-point sweep for cfg.Mechanism: one golden
@@ -496,8 +569,14 @@ func Sweep(cfg Config) (Result, error) {
 		Commits:   len(g.commitCycle),
 		Points:    make([]PointResult, len(pts)),
 	}
+	forked := make([]bool, len(pts))
 	runner.ForEach(cfg.Workers, len(pts), func(i int) {
-		res.Points[i] = cfg.runPoint(g, pts[i])
+		res.Points[i], forked[i] = cfg.runPoint(g, pts[i])
 	})
+	for _, f := range forked {
+		if f {
+			res.Forked++
+		}
+	}
 	return res, nil
 }

@@ -1,0 +1,94 @@
+package crash
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestForkedSweepMatchesLegacy is the sweep-equivalence gate: for every
+// mechanism, a sweep that forks crash points from golden commit
+// snapshots must produce exactly the verdicts of a legacy sweep that
+// replays every point from cycle zero — same cycles, same P and S, same
+// errors, same violations. The resume gate promises byte-identical
+// replay; this test pins that the crash harness actually inherits it.
+func TestForkedSweepMatchesLegacy(t *testing.T) {
+	// brokenfence rides along: the planted bug corrupts what it
+	// persists, not the simulation's own state, so its commits snapshot
+	// cleanly and its (expected, required) violations must survive
+	// forking verbatim. It sweeps more points for the same reason
+	// TestSweepCatchesPlantedBug does — sparse sweeps can land only on
+	// cycles where the missing fence happens not to matter.
+	for _, mech := range append(Mechanisms(), "brokenfence") {
+		mech := mech
+		t.Run(mech, func(t *testing.T) {
+			t.Parallel()
+			points := sweepPoints(t, 16)
+			if mech == "brokenfence" {
+				points = sweepPoints(t, 48)
+			}
+			cfg := Config{Mechanism: mech, Points: points, Seed: 1}
+			forked, err := Sweep(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Legacy = true
+			legacy, err := Sweep(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if legacy.Forked != 0 {
+				t.Fatalf("legacy sweep forked %d points", legacy.Forked)
+			}
+			if forked.Forked == 0 {
+				t.Fatalf("default sweep forked zero of %d points; the equivalence check is vacuous", len(forked.Points))
+			}
+			t.Logf("%s: %d of %d points forked", mech, forked.Forked, len(forked.Points))
+			if len(forked.Points) != len(legacy.Points) {
+				t.Fatalf("point counts differ: %d forked vs %d legacy", len(forked.Points), len(legacy.Points))
+			}
+			for i := range forked.Points {
+				if forked.Points[i] != legacy.Points[i] {
+					t.Errorf("point %d verdicts differ:\n  forked: %+v\n  legacy: %+v",
+						i, forked.Points[i], legacy.Points[i])
+				}
+			}
+			if mech == "brokenfence" && len(forked.Violations()) == 0 {
+				t.Fatal("forked sweep reported zero violations for the deliberately fenceless mechanism")
+			}
+		})
+	}
+}
+
+// TestSnapshotFailureFallsBackToLegacy pins the un-snapshottable path:
+// when golden capture cannot snapshot a commit, every crash point must
+// silently replay from cycle zero and still reach the verdicts the
+// forked path reaches. No in-tree mechanism actually fails to snapshot,
+// so the test poisons the golden record's snapErr by hand.
+func TestSnapshotFailureFallsBackToLegacy(t *testing.T) {
+	cfg := Config{Mechanism: "dirtybit", Points: sweepPoints(t, 8), Seed: 1}.withDefaults()
+	g, err := cfg.capture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.machSnaps) == 0 {
+		t.Fatal("golden capture recorded no commit snapshots")
+	}
+	pts := cfg.samplePoints(g, rand.New(rand.NewSource(cfg.Seed)))
+
+	poisoned := *g
+	poisoned.snapErr = errors.New("test: mechanism not snapshot-clean")
+	poisoned.machSnaps = nil
+
+	for _, c := range pts {
+		want, forked := cfg.runPoint(g, c)
+		got, fell := cfg.runPoint(&poisoned, c)
+		if fell {
+			t.Fatalf("cycle %d: point forked despite a poisoned snapshot record", c)
+		}
+		if got != want {
+			t.Errorf("cycle %d verdicts differ (forked=%v):\n  forked:   %+v\n  fallback: %+v",
+				c, forked, want, got)
+		}
+	}
+}

@@ -91,19 +91,18 @@ func (k *Kernel) checkpointPaused(p *Process, start int64, epoch telemetry.Span,
 				// program state are exactly the committed epoch's.
 				p.OnCommit(p.ckptSeq)
 			}
-			// Phase 5: new interval, resume everything. Rotate the resume
-			// order across checkpoints so no thread monopolizes its core
-			// when the checkpoint interval is shorter than the quantum.
-			n := len(p.Threads)
-			first := int(p.ckptSeq) % n
-			for i := 0; i < n; i++ {
-				t := p.Threads[(first+i)%n]
-				t.mech.BeginInterval()
-				k.resumeThread(t)
+			if p.CommitHook != nil {
+				// Snapshot point: the machine is at its quietest (threads
+				// parked, mechanisms committed), and everything that IS in
+				// flight carries a stable resume identity. The hook reads
+				// k.SnapshotPoint to learn which commit it is standing in.
+				k.hookProc = p
+				k.hookSync = done != nil
+				p.CommitHook(p)
+				k.hookProc = nil
+				k.hookSync = false
 			}
-			if p.heapMech != nil {
-				p.heapMech.BeginInterval()
-			}
+			k.commitEpilogue(p)
 			epoch.End(
 				telemetry.U("bytes", ckptBytes),
 				telemetry.U("pages", (ckptBytes+mem.PageSize-1)/mem.PageSize),
@@ -203,6 +202,25 @@ func (k *Kernel) checkpointPaused(p *Process, start int64, epoch telemetry.Span,
 		persistThread(t, nextStack)
 	}
 	nextStack()
+}
+
+// commitEpilogue is checkpoint phase 5: open the new interval and resume
+// everything. The resume order rotates across checkpoints so no thread
+// monopolizes its core when the checkpoint interval is shorter than the
+// quantum. It is shared between the live commit path and snapshot resume
+// (a snapshot is taken between commit and epilogue, so a resumed kernel
+// runs exactly this to continue the interrupted commit).
+func (k *Kernel) commitEpilogue(p *Process) {
+	n := len(p.Threads)
+	first := int(p.ckptSeq) % n
+	for i := 0; i < n; i++ {
+		t := p.Threads[(first+i)%n]
+		t.mech.BeginInterval()
+		k.resumeThread(t)
+	}
+	if p.heapMech != nil {
+		p.heapMech.BeginInterval()
+	}
 }
 
 // saveRegisters persists the thread's architectural state and, for

@@ -67,11 +67,21 @@ type Kernel struct {
 
 	super *superblock
 
+	// hookProc/hookSync identify the commit hook currently executing (the
+	// only point a simulator snapshot may be taken): the process whose
+	// checkpoint just committed, and whether the checkpoint was triggered
+	// synchronously (a host-side done closure is pending, which no
+	// snapshot can carry). LoadSnap re-enters this state so a resumed
+	// kernel is indistinguishable from one paused inside the hook.
+	hookProc *Process
+	hookSync bool
+
 	Counters *stats.Counters
 	// Metrics is the hierarchical registry adopting every component's
 	// counters under the stable dotted names DumpStats prints.
 	Metrics *telemetry.Registry
 	// Trace is the kernel's tracer (nil when telemetry is disabled).
+	//prosperlint:ignore snapshot SaveSnap rejects traced kernels; host-side tracer state never crosses a snapshot
 	Trace *telemetry.Tracer
 }
 
@@ -82,6 +92,7 @@ type coreState struct {
 	cur   *Thread
 	idle  bool
 	homed int // threads placed on this core (even before first enqueue)
+	timer *sim.Ticker
 }
 
 // New boots a kernel on a fresh machine (or, when cfg.Machine.Storage is
@@ -105,7 +116,7 @@ func New(cfg Config) *Kernel {
 	k.super = loadOrInitSuperblock(m.Storage, m.PersistNVM)
 	for _, cs := range k.cores {
 		cs := cs
-		m.Eng.NewTicker(sim.CompKernel, cfg.Quantum, func() { k.timerTick(cs) })
+		cs.timer = m.Eng.NewTicker(sim.CompKernel, cfg.Quantum, func() { k.timerTick(cs) })
 	}
 	k.buildMetrics()
 	k.startTelemetry()

@@ -100,6 +100,12 @@ type Thread struct {
 	storeSeq uint64
 	sp       uint64
 
+	// opsConsumed counts Prog.Next calls. Programs are deterministic
+	// functions of their Context, so snapshot resume rebuilds a thread's
+	// execution position by starting a fresh program and discarding this
+	// many ops — no generator state ever needs to be serialized.
+	opsConsumed uint64
+
 	// Run-loop continuations, bound once at thread creation so the
 	// per-op step/finish cycle allocates nothing: cs is the core the
 	// thread currently occupies (set by scheduleNext), opStart the issue
@@ -175,6 +181,12 @@ type Process struct {
 	// here. It must not block or mutate the process.
 	OnCommit func(seq uint64)
 
+	// CommitHook, when set, fires right after OnCommit and before the
+	// threads resume — the one point in a run where a simulator snapshot
+	// can be taken (snapshot.Save reads the kernel's SnapshotPoint while
+	// the hook runs). Like OnCommit it must not mutate simulation state.
+	CommitHook func(p *Process)
+
 	// Checkpoints completed and cumulative checkpoint statistics.
 	CheckpointCount uint64
 	CheckpointBytes uint64
@@ -239,6 +251,9 @@ func (k *Kernel) Spawn(cfg ProcessConfig, progs ...workload.Program) *Process {
 			MetaSize:  cfg.HeapSize + (1 << 20),
 		}
 		p.heapMech.Attach(k.env(p), p.HeapSeg)
+		if s, ok := p.heapMech.(persist.Snapshotter); ok {
+			s.SetSnapshotID(p.PID, 0) // heap is snapshot segment 0
+		}
 	}
 
 	for i, prog := range progs {
@@ -302,6 +317,9 @@ func (p *Process) newThread(i int, prog workload.Program) *Thread {
 	// before E+1 commits (power can fail in between).
 	t.regArea = k.super.allocNVM(2 * mem.PageSize)
 	t.mech.Attach(k.env(p), t.StackSeg)
+	if s, ok := t.mech.(persist.Snapshotter); ok {
+		s.SetSnapshotID(p.PID, i+1) // stacks are snapshot segments 1..n
+	}
 	return t
 }
 
@@ -416,6 +434,24 @@ func (p *Process) Done() bool {
 		}
 	}
 	return true
+}
+
+// StackMechName returns the name of the stack persistence mechanism
+// (thread 0's; all threads share a factory). Snapshot fingerprints use
+// it to verify a resume boots the same mechanism the save ran.
+func (p *Process) StackMechName() string {
+	if len(p.Threads) == 0 {
+		return ""
+	}
+	return p.Threads[0].mech.Name()
+}
+
+// HeapMechName returns the heap persistence mechanism's name, or "".
+func (p *Process) HeapMechName() string {
+	if p.heapMech == nil {
+		return ""
+	}
+	return p.heapMech.Name()
 }
 
 // StopCheckpoints cancels the periodic checkpoint ticker.

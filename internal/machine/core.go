@@ -30,8 +30,8 @@ type FaultHandler func(vaddr uint64, write bool) error
 // method values bound once when the record is first created, so the
 // steady-state load/store path allocates nothing.
 type Core struct {
-	ID   int
-	mach *Machine
+	ID   int      //prosperlint:ignore snapshot identity, fixed at construction; SaveSnap only names it in diagnostics
+	mach *Machine //prosperlint:ignore snapshot boot-time wiring; SaveSnap only reads its config for the quiescence check
 	eng  *sim.Engine
 
 	TLB *vm.TLB
@@ -52,9 +52,10 @@ type Core struct {
 	// issue time (the SniP-style tracing tap used by internal/trace).
 	Tracer func(write bool, vaddr uint64, size int)
 
-	storeCredits int
-	storeWaiters []func()
-	swHead       int // oldest waiting credit requester
+	storeCredits int      //prosperlint:ignore snapshot SaveSnap asserts the store buffer drained; a fresh boot's full credit pool needs no restoring
+	storeWaiters []func() //prosperlint:ignore snapshot SaveSnap asserts no waiters; a fresh boot's empty list needs no restoring
+	//prosperlint:ignore snapshot SaveSnap asserts it equals len(storeWaiters); implied by the drained store buffer
+	swHead int // oldest waiting credit requester
 
 	// relCreditTok returns one store-buffer credit on L1 completion; the
 	// method value is materialized once here instead of per store.

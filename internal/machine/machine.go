@@ -68,12 +68,29 @@ type Machine struct {
 	NVMFrames  *mem.FrameAllocator
 
 	// Pooled continuation records for the physical copy/write/read
-	// engines; their callbacks are bound once at record birth.
+	// engines; their callbacks are bound once at record birth. copyAll
+	// and fanAll hold every record ever created at its permanent slot
+	// index — the slot is the record's resume identity, so a snapshot
+	// can serialize in-flight engine state as (key, arg) pairs and
+	// re-bind them on load.
+	copyAll  []*copyOp
 	copyFree []*copyOp
+	fanAll   []*fanOp
 	fanFree  []*fanOp
 
 	Counters *stats.Counters
 }
+
+// Resume-key kinds for the machine's pooled continuation records; the
+// top byte selects the kind, the low bits carry the slot index (see
+// DESIGN.md §14 for the full key map).
+const (
+	keyKindCopySrc uint64 = 1
+	keyKindCopyDst uint64 = 2
+	keyKindFanLine uint64 = 3
+)
+
+func slotKey(kind uint64, slot int) uint64 { return kind<<56 | uint64(slot) }
 
 // New builds a machine with the paper's memory system.
 func New(cfg Config) *Machine {
@@ -141,6 +158,7 @@ func (m *Machine) PersistNVM(addr, size uint64) {
 // completion tokens instead of captured closures.
 type copyOp struct {
 	m                *Machine
+	slot             int
 	srcLine, dstLine uint64
 	lines            int
 	window           int
@@ -149,10 +167,10 @@ type copyOp struct {
 	inFlight         int
 	persistBase      uint64
 	persistLen       uint64
-	done             func()
+	done             sim.Done
 
-	srcDoneFn func(uint64)
-	dstDoneFn func(uint64)
+	srcDoneTok sim.Done // keyed prototype; per-line tokens are WithArg copies
+	dstDoneTok sim.Done
 }
 
 func (m *Machine) allocCopy() *copyOp {
@@ -161,14 +179,15 @@ func (m *Machine) allocCopy() *copyOp {
 		m.copyFree = m.copyFree[:n-1]
 		return op
 	}
-	op := &copyOp{m: m}
-	op.srcDoneFn = op.srcDone
-	op.dstDoneFn = op.dstDone
+	op := &copyOp{m: m, slot: len(m.copyAll)}
+	op.srcDoneTok = sim.KeyedBind(sim.CompPersist, slotKey(keyKindCopySrc, op.slot), op.srcDone, 0)
+	op.dstDoneTok = sim.KeyedBind(sim.CompPersist, slotKey(keyKindCopyDst, op.slot), op.dstDone, 0)
+	m.copyAll = append(m.copyAll, op)
 	return op
 }
 
 func (m *Machine) freeCopy(op *copyOp) {
-	op.done = nil
+	op.done = sim.Done{}
 	m.copyFree = append(m.copyFree, op)
 }
 
@@ -177,12 +196,12 @@ func (op *copyOp) pump() {
 		i := uint64(op.issued)
 		op.issued++
 		op.inFlight++
-		op.m.Ctl.Access(false, op.srcLine+i*mem.LineSize, sim.Bind(sim.CompPersist, op.srcDoneFn, i))
+		op.m.Ctl.Access(false, op.srcLine+i*mem.LineSize, op.srcDoneTok.WithArg(i))
 	}
 }
 
 func (op *copyOp) srcDone(i uint64) {
-	op.m.Ctl.Access(true, op.dstLine+i*mem.LineSize, sim.Bind(sim.CompPersist, op.dstDoneFn, i))
+	op.m.Ctl.Access(true, op.dstLine+i*mem.LineSize, op.dstDoneTok.WithArg(i))
 }
 
 func (op *copyOp) dstDone(uint64) {
@@ -198,9 +217,7 @@ func (op *copyOp) dstDone(uint64) {
 		m.Domain.Persist(op.persistBase, op.persistLen)
 		done := op.done
 		m.freeCopy(op)
-		if done != nil {
-			done()
-		}
+		done.Run()
 		return
 	}
 	op.pump()
@@ -213,9 +230,21 @@ func (op *copyOp) dstDone(uint64) {
 // the destination device — for NVM destinations this is the persistence
 // point.
 func (m *Machine) CopyPhys(dst, src uint64, n int, done func()) {
+	var tok sim.Done
+	if done != nil {
+		tok = sim.Thunk(sim.CompPersist, done)
+	}
+	m.CopyPhysTok(dst, src, n, tok)
+}
+
+// CopyPhysTok is CopyPhys with a completion token instead of a closure.
+// Callers whose completions may be in flight across a simulator snapshot
+// must use this form with a keyed token so the continuation has a
+// resume identity.
+func (m *Machine) CopyPhysTok(dst, src uint64, n int, done sim.Done) {
 	if n <= 0 {
-		if done != nil {
-			m.Eng.Schedule(sim.CompPersist, 0, done)
+		if done.Valid() {
+			m.Eng.ScheduleDone(0, done)
 		}
 		return
 	}
@@ -238,8 +267,9 @@ func (m *Machine) CopyPhys(dst, src uint64, n int, done func()) {
 // closures WritePhys/ReadPhys used to allocate.
 type fanOp struct {
 	m         *Machine
+	slot      int
 	remaining int
-	done      func()
+	done      sim.Done
 	readDone  func([]byte)
 	buf       []byte
 
@@ -252,13 +282,14 @@ func (m *Machine) allocFan() *fanOp {
 		m.fanFree = m.fanFree[:n-1]
 		return f
 	}
-	f := &fanOp{m: m}
-	f.lineDoneTok = sim.Thunk(sim.CompPersist, f.lineDone)
+	f := &fanOp{m: m, slot: len(m.fanAll)}
+	f.lineDoneTok = sim.KeyedThunk(sim.CompPersist, slotKey(keyKindFanLine, f.slot), f.lineDone)
+	m.fanAll = append(m.fanAll, f)
 	return f
 }
 
 func (m *Machine) freeFan(f *fanOp) {
-	f.done = nil
+	f.done = sim.Done{}
 	f.readDone = nil
 	f.buf = nil
 	m.fanFree = append(m.fanFree, f)
@@ -272,9 +303,7 @@ func (f *fanOp) lineDone() {
 	m := f.m
 	done, readDone, buf := f.done, f.readDone, f.buf
 	m.freeFan(f)
-	if done != nil {
-		done()
-	}
+	done.Run()
 	if readDone != nil {
 		readDone(buf)
 	}
@@ -284,11 +313,21 @@ func (f *fanOp) lineDone() {
 // memory controller (bypassing caches), updating functional storage
 // immediately. done fires at device completion.
 func (m *Machine) WritePhys(addr uint64, data []byte, done func()) {
+	var tok sim.Done
+	if done != nil {
+		tok = sim.Thunk(sim.CompPersist, done)
+	}
+	m.WritePhysTok(addr, data, tok)
+}
+
+// WritePhysTok is WritePhys with a completion token instead of a
+// closure; see CopyPhysTok for when the keyed form is required.
+func (m *Machine) WritePhysTok(addr uint64, data []byte, done sim.Done) {
 	m.Storage.Write(addr, data)
 	lines := mem.LinesSpanned(addr, len(data))
 	if lines == 0 {
-		if done != nil {
-			m.Eng.Schedule(sim.CompPersist, 0, done)
+		if done.Valid() {
+			m.Eng.ScheduleDone(0, done)
 		}
 		return
 	}

@@ -42,7 +42,7 @@ type Domain struct {
 	// snapPool recycles drained FIFO backings: the common case is one
 	// in-flight write per line, so without the pool every first admission
 	// of a line allocates a fresh single-snapshot slice.
-	snapPool [][]lineSnap
+	snapPool [][]lineSnap //prosperlint:ignore snapshot allocation recycling only; LoadSnap resets it and contents never affect behavior
 	// stale counts completion events that will still fire for writes
 	// whose snapshots a Crash already discarded (the in-place crash path
 	// keeps the engine alive); they must not consume post-crash entries.

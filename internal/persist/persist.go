@@ -98,6 +98,18 @@ type Mechanism interface {
 // Factory builds a fresh mechanism instance (one per segment).
 type Factory func() Mechanism
 
+// applyState is the explicit state of an in-flight step 2 (temp ->
+// image apply). It replaces the closure captures the apply path once
+// used: because apply drains in the background while the application
+// runs, it is the one piece of checkpoint machinery that can be live at
+// a checkpoint-commit snapshot point, so its state must be plain data.
+type applyState struct {
+	seq     uint64
+	count   uint64
+	total   uint64
+	pending int
+}
+
 // base carries the fields every mechanism shares.
 type base struct {
 	env *Env
@@ -109,6 +121,13 @@ type base struct {
 	// must wait before reusing the temp buffer.
 	applying     bool
 	applyWaiters []func()
+	apply        applyState
+
+	// applyStepTok completes one extent copy of step 2; applyHdrTok
+	// completes the final phase-applied header write. Built unkeyed at
+	// attach; SetSnapshotID upgrades them with stable resume identities.
+	applyStepTok sim.Done
+	applyHdrTok  sim.Done
 
 	// brokenFence deliberately commits the step-1 record without waiting
 	// for the payload to become durable. It exists only so the crash-sweep
@@ -126,7 +145,30 @@ func (b *base) attach(env *Env, seg Segment) {
 	// meta area carries the last sequence that reached NVM, and fresh
 	// segments read zero from their never-touched area.
 	b.seq = env.Mach.Storage.ReadU64(seg.MetaBase + metaSeq)
+	b.applyStepTok = sim.Thunk(sim.CompPersist, b.applyStep)
+	b.applyHdrTok = sim.Thunk(sim.CompPersist, b.applyHdrDone)
 	b.Counters = stats.NewCounters()
+}
+
+// Snapshot resume-key kinds for persist-owned continuation tokens (the
+// machine layer owns kinds 1..3; see DESIGN.md §14 for the registry).
+const (
+	keyKindApplyStep = uint64(0x10)
+	keyKindApplyHdr  = uint64(0x11)
+)
+
+func snapKey(kind uint64, pid, segIdx int) uint64 {
+	return kind<<56 | uint64(pid)<<16 | uint64(segIdx)
+}
+
+// SetSnapshotID gives the mechanism's parked continuation tokens stable
+// resume identities derived from the owning process and segment index
+// (heap is segment 0; stack thread i is segment i+1). The kernel calls
+// it right after Attach; mechanisms constructed directly (tests) stay
+// unkeyed and simply cannot cross a snapshot boundary.
+func (b *base) SetSnapshotID(pid, segIdx int) {
+	b.applyStepTok = sim.KeyedThunk(sim.CompPersist, snapKey(keyKindApplyStep, pid, segIdx), b.applyStep)
+	b.applyHdrTok = sim.KeyedThunk(sim.CompPersist, snapKey(keyKindApplyHdr, pid, segIdx), b.applyHdrDone)
 }
 
 // DurableSegmentSeq reads a segment's durable commit sequence from its
@@ -313,34 +355,47 @@ func (b *base) persistExtents(extents []extent, done func(Result)) {
 	}
 }
 
-// applyAsync is step 2: redo the temp buffer onto the image.
+// applyAsync is step 2: redo the temp buffer onto the image. Its
+// progress lives in b.apply (plain data) and its completions ride the
+// two reusable tokens, because an apply regularly straddles the
+// checkpoint-commit boundary where simulator snapshots are taken.
 func (b *base) applyAsync(seq, count, total uint64, dataBase uint64, extents []extent) {
 	m := b.env.Mach
-	applyPending := len(extents)
-	cursor := dataBase
-	finish := func() {
-		hdr2 := b.makeHeader(phaseApplied, seq, count, total)
-		m.WritePhys(b.seg.MetaBase, hdr2, func() {
-			b.applying = false
-			waiters := b.applyWaiters
-			b.applyWaiters = nil
-			for _, w := range waiters {
-				w()
-			}
-		})
-	}
-	if applyPending == 0 {
-		finish()
+	b.apply = applyState{seq: seq, count: count, total: total, pending: len(extents)}
+	if b.apply.pending == 0 {
+		b.applyFinish()
 		return
 	}
+	cursor := dataBase
 	for _, e := range extents {
-		m.CopyPhys(b.seg.ImageBase+e.off, cursor, int(e.size), func() {
-			applyPending--
-			if applyPending == 0 {
-				finish()
-			}
-		})
+		m.CopyPhysTok(b.seg.ImageBase+e.off, cursor, int(e.size), b.applyStepTok)
 		cursor += e.size
+	}
+}
+
+// applyStep completes one extent copy of step 2.
+func (b *base) applyStep() {
+	b.apply.pending--
+	if b.apply.pending == 0 {
+		b.applyFinish()
+	}
+}
+
+// applyFinish writes the phase-applied header once every extent copy of
+// step 2 has drained.
+func (b *base) applyFinish() {
+	hdr2 := b.makeHeader(phaseApplied, b.apply.seq, b.apply.count, b.apply.total)
+	b.env.Mach.WritePhysTok(b.seg.MetaBase, hdr2, b.applyHdrTok)
+}
+
+// applyHdrDone retires step 2 and releases any checkpoint serialized
+// behind the temp buffer.
+func (b *base) applyHdrDone() {
+	b.applying = false
+	waiters := b.applyWaiters
+	b.applyWaiters = nil
+	for _, w := range waiters {
+		w()
 	}
 }
 

@@ -1,0 +1,258 @@
+package persist
+
+import (
+	"fmt"
+	"slices"
+
+	"prosper/internal/sim"
+	"prosper/internal/snapbuf"
+)
+
+// Snapshotter is the per-mechanism snapshot contract. Every mechanism in
+// this package implements it (mostly by promotion from base). Snapshots
+// are taken at checkpoint-commit quiescent points, where the only
+// checkpoint machinery that may still be in flight is the background
+// step-2 apply — whose state is plain data on base and whose parked
+// continuation tokens carry the resume keys SetSnapshotID assigned.
+type Snapshotter interface {
+	SetSnapshotID(pid, segIdx int)
+	SaveSnap(w *snapbuf.Writer, claims *sim.EventClaims) error
+	LoadSnap(r *snapbuf.Reader) error
+	ResumeTokens(reg map[uint64]sim.Done)
+}
+
+// saveBase encodes the state every mechanism shares: the commit
+// sequence, the background-apply progress, and counters.
+func (b *base) saveBase(w *snapbuf.Writer) error {
+	if len(b.applyWaiters) != 0 {
+		return fmt.Errorf("persist: %d checkpoints serialized behind an apply at snapshot point", len(b.applyWaiters))
+	}
+	w.U64(b.seq)
+	w.Bool(b.applying)
+	w.U64(b.apply.seq)
+	w.U64(b.apply.count)
+	w.U64(b.apply.total)
+	w.Int(b.apply.pending)
+	b.Counters.SaveSnap(w)
+	return nil
+}
+
+func (b *base) loadBase(r *snapbuf.Reader) error {
+	b.seq = r.U64()
+	b.applying = r.Bool()
+	b.apply.seq = r.U64()
+	b.apply.count = r.U64()
+	b.apply.total = r.U64()
+	b.apply.pending = r.Int()
+	b.applyWaiters = nil
+	if r.Err() != nil {
+		return r.Err()
+	}
+	return b.Counters.LoadSnap(r)
+}
+
+// SaveSnap implements Snapshotter for mechanisms with no state beyond
+// base (None, Dirtybit, WriteProtect, brokenFence — their tracking lives
+// in PTEs and TLBs, which the vm layer serializes).
+func (b *base) SaveSnap(w *snapbuf.Writer, claims *sim.EventClaims) error {
+	return b.saveBase(w)
+}
+
+// LoadSnap implements Snapshotter.
+func (b *base) LoadSnap(r *snapbuf.Reader) error { return b.loadBase(r) }
+
+// ResumeTokens implements Snapshotter: register the keyed continuation
+// prototypes parked device queues and engine slots may reference.
+func (b *base) ResumeTokens(reg map[uint64]sim.Done) {
+	if k := b.applyStepTok.Key(); k != 0 {
+		reg[k] = b.applyStepTok
+	}
+	if k := b.applyHdrTok.Key(); k != 0 {
+		reg[k] = b.applyHdrTok
+	}
+}
+
+// SaveSnap implements Snapshotter: Prosper adds the bitmap placement and
+// the saved tracker MSR/window state. The kernel checkpoints through
+// OnScheduleOut, so the tracker context is off-core (cur == nil) at
+// every commit; an on-core tracker rejects the snapshot point.
+func (p *Prosper) SaveSnap(w *snapbuf.Writer, claims *sim.EventClaims) error {
+	if p.cur != nil {
+		return fmt.Errorf("persist: prosper tracker still on core %d at snapshot point", p.curCore)
+	}
+	if err := p.saveBase(w); err != nil {
+		return err
+	}
+	w.U64(p.bitmapPhys)
+	w.U64(p.bitmapBytes)
+	w.U64(p.state.MSRs.StackLo)
+	w.U64(p.state.MSRs.StackHi)
+	w.U64(p.state.MSRs.BitmapBase)
+	w.U64(p.state.MSRs.Gran)
+	w.Bool(p.state.MSRs.Enabled)
+	w.U64(p.state.TouchedLo)
+	w.U64(p.state.TouchedHi)
+	w.Bool(p.state.AnyTouched)
+	return nil
+}
+
+// LoadSnap implements Snapshotter.
+func (p *Prosper) LoadSnap(r *snapbuf.Reader) error {
+	if err := p.loadBase(r); err != nil {
+		return err
+	}
+	p.bitmapPhys = r.U64()
+	p.bitmapBytes = r.U64()
+	p.state.MSRs.StackLo = r.U64()
+	p.state.MSRs.StackHi = r.U64()
+	p.state.MSRs.BitmapBase = r.U64()
+	p.state.MSRs.Gran = r.U64()
+	p.state.MSRs.Enabled = r.Bool()
+	p.state.TouchedLo = r.U64()
+	p.state.TouchedHi = r.U64()
+	p.state.AnyTouched = r.Bool()
+	p.cur = nil
+	p.curCore = -1
+	return r.Err()
+}
+
+// SaveSnap implements Snapshotter: SSP adds its four page maps (in
+// sorted page order — snapshot bytes must be deterministic) and its
+// consolidation ticker's pending engine event.
+func (s *SSP) SaveSnap(w *snapbuf.Writer, claims *sim.EventClaims) error {
+	if err := s.saveBase(w); err != nil {
+		return err
+	}
+	saveU64Map(w, s.shadow)
+	saveU64Map(w, s.working)
+	pages := make([]uint64, 0, len(s.hot))
+	for page := range s.hot {
+		pages = append(pages, page)
+	}
+	slices.Sort(pages)
+	w.U64(uint64(len(pages)))
+	for _, page := range pages {
+		w.U64(page)
+	}
+	saveU64Map(w, s.pending)
+	stopped := s.ticker == nil || s.ticker.Stopped()
+	w.Bool(stopped)
+	if !stopped {
+		when, seq := s.ticker.NextFire()
+		w.I64(int64(when))
+		w.U64(seq)
+		claims.Claim(when, seq)
+	}
+	return nil
+}
+
+// LoadSnap implements Snapshotter. The freshly attached ticker's
+// boot-time event was discarded with the rest of the queue; rearm it at
+// the saved (when, seq) identity.
+func (s *SSP) LoadSnap(r *snapbuf.Reader) error {
+	if err := s.loadBase(r); err != nil {
+		return err
+	}
+	var err error
+	if s.shadow, err = loadU64Map(r); err != nil {
+		return err
+	}
+	if s.working, err = loadU64Map(r); err != nil {
+		return err
+	}
+	nh := r.Count(8)
+	s.hot = make(map[uint64]bool, nh)
+	for i := 0; i < nh; i++ {
+		s.hot[r.U64()] = true
+	}
+	if s.pending, err = loadU64Map(r); err != nil {
+		return err
+	}
+	stopped := r.Bool()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if stopped {
+		if s.ticker != nil {
+			s.ticker.Stop()
+		}
+		return nil
+	}
+	when := sim.Time(r.I64())
+	seq := r.U64()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if s.ticker == nil {
+		return fmt.Errorf("persist: ssp snapshot has a live consolidation ticker but the mechanism has none")
+	}
+	if when < s.env.Eng().Now() {
+		return fmt.Errorf("persist: ssp ticker event at %d is in the past (now %d)", when, s.env.Eng().Now())
+	}
+	s.ticker.Rearm(when, seq)
+	return nil
+}
+
+// SaveSnap implements Snapshotter: Romulus adds the hardware store log.
+func (ro *Romulus) SaveSnap(w *snapbuf.Writer, claims *sim.EventClaims) error {
+	if err := ro.saveBase(w); err != nil {
+		return err
+	}
+	w.U64(uint64(len(ro.logEntries)))
+	for _, e := range ro.logEntries {
+		w.U64(e.off)
+		w.U64(e.size)
+	}
+	w.U64(ro.logBytes)
+	return nil
+}
+
+// LoadSnap implements Snapshotter.
+func (ro *Romulus) LoadSnap(r *snapbuf.Reader) error {
+	if err := ro.loadBase(r); err != nil {
+		return err
+	}
+	n := r.Count(16)
+	ro.logEntries = ro.logEntries[:0]
+	for i := 0; i < n; i++ {
+		ro.logEntries = append(ro.logEntries, extent{off: r.U64(), size: r.U64()})
+	}
+	ro.logBytes = r.U64()
+	return r.Err()
+}
+
+// saveU64Map encodes a map in sorted key order.
+func saveU64Map(w *snapbuf.Writer, m map[uint64]uint64) {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	w.U64(uint64(len(keys)))
+	for _, k := range keys {
+		w.U64(k)
+		w.U64(m[k])
+	}
+}
+
+func loadU64Map(r *snapbuf.Reader) (map[uint64]uint64, error) {
+	n := r.Count(16)
+	m := make(map[uint64]uint64, n)
+	for i := 0; i < n; i++ {
+		k := r.U64()
+		m[k] = r.U64()
+	}
+	return m, r.Err()
+}
+
+// Every mechanism must survive a snapshot boundary.
+var (
+	_ Snapshotter = (*None)(nil)
+	_ Snapshotter = (*Dirtybit)(nil)
+	_ Snapshotter = (*WriteProtect)(nil)
+	_ Snapshotter = (*Prosper)(nil)
+	_ Snapshotter = (*AdaptiveProsper)(nil)
+	_ Snapshotter = (*SSP)(nil)
+	_ Snapshotter = (*Romulus)(nil)
+	_ Snapshotter = (*brokenFence)(nil)
+)

@@ -1,0 +1,172 @@
+package persist
+
+import (
+	"strings"
+	"testing"
+
+	"prosper/internal/sim"
+	"prosper/internal/snapbuf"
+)
+
+// attachedMech builds an attached mechanism instance with a keyed
+// snapshot identity, the way the kernel wires one up.
+func attachedMech(t *testing.T, f Factory) (*Env, Mechanism) {
+	t.Helper()
+	env, seg, _ := newEnv(t)
+	m := f()
+	m.Attach(env, seg)
+	m.(Snapshotter).SetSnapshotID(1, 1)
+	return env, m
+}
+
+func saveMechSnap(t *testing.T, m Mechanism) []byte {
+	t.Helper()
+	w := snapbuf.NewWriter()
+	var claims sim.EventClaims
+	if err := m.(Snapshotter).SaveSnap(w, &claims); err != nil {
+		t.Fatalf("%s: SaveSnap: %v", m.Name(), err)
+	}
+	return w.Bytes()
+}
+
+// TestMechanismSnapTruncationSweep pins the decode contract for every
+// mechanism encoding: a full payload round-trips to byte-identical
+// re-saved state, and every truncated prefix yields an error — never a
+// panic, never a silent partial load.
+func TestMechanismSnapTruncationSweep(t *testing.T) {
+	factories := map[string]Factory{
+		"dirtybit": NewDirtybit(DirtybitConfig{}),
+		"prosper":  NewProsper(ProsperConfig{}),
+		"ssp":      NewSSP(SSPConfig{}),
+		"romulus":  NewRomulus(),
+	}
+	for name, f := range factories {
+		t.Run(name, func(t *testing.T) {
+			_, m := attachedMech(t, f)
+			// Populate mechanism-specific state so the loops that decode
+			// it actually execute.
+			switch v := m.(type) {
+			case *SSP:
+				v.shadow = map[uint64]uint64{0x1000: 0x9000, 0x2000: 0xa000}
+				v.working = map[uint64]uint64{0x1000: 0xb000}
+				v.hot = map[uint64]bool{0x1000: true, 0x3000: true}
+				v.pending = map[uint64]uint64{0x4000: 0xc000}
+			case *Romulus:
+				v.logEntries = append(v.logEntries, extent{off: 64, size: 8}, extent{off: 256, size: 16})
+				v.logBytes = 24
+			}
+			data := saveMechSnap(t, m)
+
+			_, fresh := attachedMech(t, f)
+			if err := fresh.(Snapshotter).LoadSnap(snapbuf.NewReader(data)); err != nil {
+				t.Fatalf("full payload LoadSnap: %v", err)
+			}
+			if got := saveMechSnap(t, fresh); string(got) != string(data) {
+				t.Fatal("re-saved snapshot differs from original")
+			}
+			for n := 0; n < len(data); n++ {
+				_, victim := attachedMech(t, f)
+				if err := victim.(Snapshotter).LoadSnap(snapbuf.NewReader(data[:n])); err == nil {
+					t.Fatalf("LoadSnap accepted a %d/%d-byte prefix", n, len(data))
+				}
+			}
+		})
+	}
+}
+
+// TestSnapRejectsQueuedCheckpoints: a checkpoint serialized behind an
+// in-flight apply is host-closure state and must reject the save for
+// every mechanism that embeds base.
+func TestSnapRejectsQueuedCheckpoints(t *testing.T) {
+	poison := func(m Mechanism) {
+		switch v := m.(type) {
+		case *Dirtybit:
+			v.applyWaiters = append(v.applyWaiters, func() {})
+		case *Prosper:
+			v.applyWaiters = append(v.applyWaiters, func() {})
+		case *SSP:
+			v.applyWaiters = append(v.applyWaiters, func() {})
+		case *Romulus:
+			v.applyWaiters = append(v.applyWaiters, func() {})
+		default:
+			panic("unhandled mechanism type")
+		}
+	}
+	for name, f := range map[string]Factory{
+		"dirtybit": NewDirtybit(DirtybitConfig{}),
+		"prosper":  NewProsper(ProsperConfig{}),
+		"ssp":      NewSSP(SSPConfig{}),
+		"romulus":  NewRomulus(),
+	} {
+		_, m := attachedMech(t, f)
+		poison(m)
+		w := snapbuf.NewWriter()
+		var claims sim.EventClaims
+		err := m.(Snapshotter).SaveSnap(w, &claims)
+		if err == nil || !strings.Contains(err.Error(), "serialized behind an apply") {
+			t.Errorf("%s: err = %v, want queued-checkpoint rejection", name, err)
+		}
+	}
+}
+
+// TestProsperSnapRejectsOnCoreTracker: the tracker context must be
+// off-core at every commit; an on-core tracker is a non-quiescent point.
+func TestProsperSnapRejectsOnCoreTracker(t *testing.T) {
+	env, m := attachedMech(t, NewProsper(ProsperConfig{}))
+	p := m.(*Prosper)
+	p.cur, p.curCore = env.Trackers[0], 0
+	w := snapbuf.NewWriter()
+	var claims sim.EventClaims
+	err := p.SaveSnap(w, &claims)
+	if err == nil || !strings.Contains(err.Error(), "still on core") {
+		t.Fatalf("err = %v, want on-core tracker rejection", err)
+	}
+}
+
+// TestSSPSnapTickerEdges covers the consolidation-ticker resume rules:
+// a stopped ticker stays stopped, a live one must exist on the loading
+// side and must not land in the engine's past.
+func TestSSPSnapTickerEdges(t *testing.T) {
+	_, m := attachedMech(t, NewSSP(SSPConfig{}))
+	s := m.(*SSP)
+
+	t.Run("stopped", func(t *testing.T) {
+		s.ticker.Stop()
+		data := saveMechSnap(t, s)
+		_, fm := attachedMech(t, NewSSP(SSPConfig{}))
+		fresh := fm.(*SSP)
+		if err := fresh.LoadSnap(snapbuf.NewReader(data)); err != nil {
+			t.Fatalf("LoadSnap: %v", err)
+		}
+		if !fresh.ticker.Stopped() {
+			t.Fatal("loaded ticker is not stopped")
+		}
+	})
+
+	_, m2 := attachedMech(t, NewSSP(SSPConfig{}))
+	live := m2.(*SSP)
+	liveData := saveMechSnap(t, live)
+
+	t.Run("missing ticker", func(t *testing.T) {
+		_, fm := attachedMech(t, NewSSP(SSPConfig{}))
+		fresh := fm.(*SSP)
+		fresh.ticker = nil
+		err := fresh.LoadSnap(snapbuf.NewReader(liveData))
+		if err == nil || !strings.Contains(err.Error(), "mechanism has none") {
+			t.Fatalf("err = %v, want missing-ticker rejection", err)
+		}
+	})
+
+	t.Run("past event", func(t *testing.T) {
+		env, fm := attachedMech(t, NewSSP(SSPConfig{}))
+		fresh := fm.(*SSP)
+		// Advance the loading engine past the saved fire time; the stale
+		// event must be refused, not silently rearmed in the past.
+		when, _ := live.ticker.NextFire()
+		env.Mach.Eng.RunWhile(func() bool { return env.Mach.Eng.Now() <= when })
+		err := fresh.LoadSnap(snapbuf.NewReader(liveData))
+		if err == nil || !strings.Contains(err.Error(), "in the past") {
+			t.Fatalf("err = %v, want past-event rejection", err)
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package prosper
+
+import (
+	"fmt"
+
+	"prosper/internal/snapbuf"
+)
+
+// SaveSnap encodes one tracker for a simulator snapshot. Snapshots are
+// taken at checkpoint commits, where the kernel has already flushed the
+// table and polled for quiescence, so only MSRs, the touched range, the
+// victim RNG, and statistics remain; a tracker with live entries or
+// outstanding bitmap traffic rejects the snapshot point.
+func (t *Tracker) SaveSnap(w *snapbuf.Writer) error {
+	if !t.Quiesced() {
+		return fmt.Errorf("prosper: tracker has outstanding bitmap traffic at snapshot point")
+	}
+	if t.LiveEntries() != 0 {
+		return fmt.Errorf("prosper: tracker has live table entries at snapshot point")
+	}
+	w.U64(t.msrs.StackLo)
+	w.U64(t.msrs.StackHi)
+	w.U64(t.msrs.BitmapBase)
+	w.U64(t.msrs.Gran)
+	w.Bool(t.msrs.Enabled)
+	w.U64(t.touchedLo)
+	w.U64(t.touchedHi)
+	w.Bool(t.anyTouched)
+	w.U64(t.rng.State())
+	t.Counters.SaveSnap(w)
+	t.Histograms.SaveSnap(w)
+	return nil
+}
+
+// LoadSnap restores a tracker saved by SaveSnap.
+func (t *Tracker) LoadSnap(r *snapbuf.Reader) error {
+	t.msrs.StackLo = r.U64()
+	t.msrs.StackHi = r.U64()
+	t.msrs.BitmapBase = r.U64()
+	t.msrs.Gran = r.U64()
+	t.msrs.Enabled = r.Bool()
+	t.touchedLo = r.U64()
+	t.touchedHi = r.U64()
+	t.anyTouched = r.Bool()
+	t.rng.SetState(r.U64())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if err := t.Counters.LoadSnap(r); err != nil {
+		return err
+	}
+	return t.Histograms.LoadSnap(r)
+}

@@ -105,10 +105,10 @@ type Tracker struct {
 	rng     *sim.Rand
 
 	msrs  MSRs
-	table []entry
+	table []entry //prosperlint:ignore snapshot SaveSnap asserts zero live entries via LiveEntries; a fresh boot's empty table needs no restoring
 
-	outstandingLoads  int
-	outstandingStores int
+	outstandingLoads  int //prosperlint:ignore snapshot SaveSnap asserts quiescence via Quiesced; zero at every legal snapshot point
+	outstandingStores int //prosperlint:ignore snapshot SaveSnap asserts quiescence via Quiesced; zero at every legal snapshot point
 
 	// loadDoneTok/storeDoneTok retire one outstanding bitmap access; the
 	// method values are bound once in New so the injection path allocates

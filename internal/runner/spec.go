@@ -202,12 +202,9 @@ func (r RunStats) MeanStackCkptCycles() float64 {
 	return float64(r.StackCkptCycles) / float64(r.Checkpoints)
 }
 
-// Run executes the spec on a freshly built kernel and machine and
-// collects stats over the measured window. Every call builds a private
-// sim.Engine, so concurrent Runs of distinct Spec values never share
-// state and each run's results depend only on the spec itself.
-func (sp Spec) Run() RunStats {
-	sp = sp.withDefaults()
+// boot builds the spec's private kernel and machine and, when requested,
+// enables event profiling on the fresh engine.
+func (sp Spec) boot() (*kernel.Kernel, *sim.Profile) {
 	k := kernel.New(kernel.Config{
 		Machine:     machine.Config{Cores: sp.Cores},
 		Quantum:     sp.Interval / 2,
@@ -221,8 +218,14 @@ func (sp Spec) Run() RunStats {
 		// keeps the per-component counts summing exactly to Eng.Fired().
 		prof = k.Eng.EnableProfiling(hostprof.Nanotime)
 	}
-	runTrack := sp.Tracer.Track("run")
-	runSpan := sp.Tracer.Begin(runTrack, "run:"+sp.DisplayLabel())
+	return k, prof
+}
+
+// spawn creates the spec's measured process on k. The spawn sequence is
+// fully determined by the spec, which is what lets a snapshot resume
+// into a freshly booted kernel: boot+spawn reproduce the identical
+// object graph, and restoration then overwrites its state.
+func (sp Spec) spawn(k *kernel.Kernel) *kernel.Process {
 	pc := kernel.ProcessConfig{
 		Name:         sp.Name,
 		StackMech:    sp.StackMech,
@@ -239,58 +242,70 @@ func (sp Spec) Run() RunStats {
 	for i := range progs {
 		progs[i] = sp.Prog()
 	}
-	p := k.Spawn(pc, progs...)
-	defer p.Shutdown()
+	return k.Spawn(pc, progs...)
+}
 
-	warmupSpan := sp.Tracer.Begin(runTrack, "warmup")
-	k.RunFor(sp.Warmup)
-	warmupSpan.End()
-	var opsBase, cyclesBase uint64
+// baselines captures every counter the measured window subtracts from,
+// taken at warmup end. It rides inside snapshots (as the opaque user
+// payload) so a resumed run computes the identical deltas.
+type baselines struct {
+	opsBase, cyclesBase            uint64
+	ckptBase, ckptBytesBase        uint64
+	stackBytesBase                 uint64
+	stackCyclesBase, stackMetaBase uint64
+	heapBytesBase, heapCyclesBase  uint64
+	tr                             trackerSnap
+	wfBase                         uint64
+	start                          sim.Time
+}
+
+func captureBaselines(k *kernel.Kernel, p *kernel.Process) baselines {
+	var b baselines
 	for _, t := range p.Threads {
-		opsBase += t.UserOps
-		cyclesBase += t.UserCycles
+		b.opsBase += t.UserOps
+		b.cyclesBase += t.UserCycles
 	}
-	ckptBase := p.CheckpointCount
-	ckptBytesBase := p.CheckpointBytes
-	stackBytesBase := p.Counters.Get("proc.stack_ckpt_bytes")
-	stackCyclesBase := p.Counters.Get("proc.stack_ckpt_cycles")
-	stackMetaBase := p.Counters.Get("proc.stack_ckpt_meta")
-	heapBytesBase := p.Counters.Get("proc.heap_ckpt_bytes")
-	heapCyclesBase := p.Counters.Get("proc.heap_ckpt_cycles")
-	trSnap := trackerSnapshot(k)
-	wfBase := uint64(p.AS.WriteFaults())
-	start := k.Eng.Now()
+	b.ckptBase = p.CheckpointCount
+	b.ckptBytesBase = p.CheckpointBytes
+	b.stackBytesBase = p.Counters.Get("proc.stack_ckpt_bytes")
+	b.stackCyclesBase = p.Counters.Get("proc.stack_ckpt_cycles")
+	b.stackMetaBase = p.Counters.Get("proc.stack_ckpt_meta")
+	b.heapBytesBase = p.Counters.Get("proc.heap_ckpt_bytes")
+	b.heapCyclesBase = p.Counters.Get("proc.heap_ckpt_cycles")
+	b.tr = trackerSnapshot(k)
+	b.wfBase = uint64(p.AS.WriteFaults())
+	b.start = k.Eng.Now()
+	return b
+}
 
-	measured := sp.Tracer.Begin(runTrack, "measured")
-	k.RunFor(sp.Interval * sim.Time(sp.Checkpoints))
-	measured.End()
-
-	res := RunStats{Name: sp.Name, Elapsed: k.Eng.Now() - start}
+// collect computes the measured window's RunStats as deltas from base.
+func (sp Spec) collect(k *kernel.Kernel, p *kernel.Process, prof *sim.Profile, base baselines) RunStats {
+	res := RunStats{Name: sp.Name, Elapsed: k.Eng.Now() - base.start}
 	for _, t := range p.Threads {
 		res.UserOps += t.UserOps
 		res.UserCycles += t.UserCycles
 	}
-	res.UserOps -= opsBase
-	res.UserCycles -= cyclesBase
-	res.Checkpoints = p.CheckpointCount - ckptBase
-	res.CheckpointBytes = p.CheckpointBytes - ckptBytesBase
-	res.StackCkptBytes = p.Counters.Get("proc.stack_ckpt_bytes") - stackBytesBase
-	res.StackCkptCycles = p.Counters.Get("proc.stack_ckpt_cycles") - stackCyclesBase
-	res.StackCkptMeta = p.Counters.Get("proc.stack_ckpt_meta") - stackMetaBase
-	res.HeapCkptBytes = p.Counters.Get("proc.heap_ckpt_bytes") - heapBytesBase
-	res.HeapCkptCycles = p.Counters.Get("proc.heap_ckpt_cycles") - heapCyclesBase
+	res.UserOps -= base.opsBase
+	res.UserCycles -= base.cyclesBase
+	res.Checkpoints = p.CheckpointCount - base.ckptBase
+	res.CheckpointBytes = p.CheckpointBytes - base.ckptBytesBase
+	res.StackCkptBytes = p.Counters.Get("proc.stack_ckpt_bytes") - base.stackBytesBase
+	res.StackCkptCycles = p.Counters.Get("proc.stack_ckpt_cycles") - base.stackCyclesBase
+	res.StackCkptMeta = p.Counters.Get("proc.stack_ckpt_meta") - base.stackMetaBase
+	res.HeapCkptBytes = p.Counters.Get("proc.heap_ckpt_bytes") - base.heapBytesBase
+	res.HeapCkptCycles = p.Counters.Get("proc.heap_ckpt_cycles") - base.heapCyclesBase
 	trEnd := trackerSnapshot(k)
-	res.TrackerBitmapLoads = trEnd.loads - trSnap.loads
-	res.TrackerBitmapStores = trEnd.stores - trSnap.stores
-	res.TrackerSOIs = trEnd.sois - trSnap.sois
-	res.TrackerWritebacks = trEnd.writebacks - trSnap.writebacks
+	res.TrackerBitmapLoads = trEnd.loads - base.tr.loads
+	res.TrackerBitmapStores = trEnd.stores - base.tr.stores
+	res.TrackerSOIs = trEnd.sois - base.tr.sois
+	res.TrackerWritebacks = trEnd.writebacks - base.tr.writebacks
 	res.TrackerUpdates = res.TrackerSOIs // one table update per SOI granule (approx.)
-	res.WriteFaults = uint64(p.AS.WriteFaults()) - wfBase
+	res.WriteFaults = uint64(p.AS.WriteFaults()) - base.wfBase
 	// Pause decomposition: only epochs committed inside the measured
 	// window (sequence numbers past the warmup-end count).
 	pauseHist := stats.NewHistogram()
 	for _, ep := range p.EpochPauses {
-		if ep.Seq <= ckptBase {
+		if ep.Seq <= base.ckptBase {
 			continue
 		}
 		pauseHist.Observe(uint64(ep.Pause))
@@ -314,6 +329,31 @@ func (sp Spec) Run() RunStats {
 		res.EventCounts = snap.Counts
 		res.EventNanos = snap.Nanos
 	}
+	return res
+}
+
+// Run executes the spec on a freshly built kernel and machine and
+// collects stats over the measured window. Every call builds a private
+// sim.Engine, so concurrent Runs of distinct Spec values never share
+// state and each run's results depend only on the spec itself.
+func (sp Spec) Run() RunStats {
+	sp = sp.withDefaults()
+	k, prof := sp.boot()
+	runTrack := sp.Tracer.Track("run")
+	runSpan := sp.Tracer.Begin(runTrack, "run:"+sp.DisplayLabel())
+	p := sp.spawn(k)
+	defer p.Shutdown()
+
+	warmupSpan := sp.Tracer.Begin(runTrack, "warmup")
+	k.RunFor(sp.Warmup)
+	warmupSpan.End()
+	base := captureBaselines(k, p)
+
+	measured := sp.Tracer.Begin(runTrack, "measured")
+	k.RunFor(sp.Interval * sim.Time(sp.Checkpoints))
+	measured.End()
+
+	res := sp.collect(k, p, prof, base)
 	runSpan.End(
 		telemetry.U("user_ops", res.UserOps),
 		telemetry.U("checkpoints", res.Checkpoints),

@@ -18,7 +18,10 @@
 // the heap arity cannot change a single simulated cycle.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // Time is a simulation timestamp in CPU cycles. The simulated machine runs
 // at Frequency cycles per second, so wall-clock intervals convert via
@@ -79,6 +82,7 @@ type Done struct {
 	afn  func(uint64)
 	arg  uint64
 	comp Component
+	key  uint64
 }
 
 // Thunk wraps a plain callback as a completion token owned by comp.
@@ -93,8 +97,40 @@ func Bind(comp Component, fn func(uint64), arg uint64) Done {
 	return Done{afn: fn, arg: arg, comp: comp}
 }
 
+// KeyedThunk wraps a plain callback as a completion token owned by comp
+// and carrying a stable resume identity. Components whose tokens may be
+// parked in device queues across a simulator snapshot declare a key at
+// the birth site; the snapshot subsystem serializes parked tokens as
+// (key, arg) pairs and re-binds them through a key registry on resume.
+// Keys must be unique per live callback target; 0 means "no identity"
+// (such a token cannot cross a snapshot boundary).
+func KeyedThunk(comp Component, key uint64, fn func()) Done {
+	return Done{fn: fn, comp: comp, key: key}
+}
+
+// KeyedBind wraps a single-argument callback plus its argument as a
+// completion token owned by comp with a stable resume identity; see
+// KeyedThunk for the key contract.
+func KeyedBind(comp Component, key uint64, fn func(uint64), arg uint64) Done {
+	return Done{afn: fn, arg: arg, comp: comp, key: key}
+}
+
 // Component returns the owner declared when the token was built.
 func (d Done) Component() Component { return d.comp }
+
+// Key returns the token's resume identity (0 when none was declared).
+func (d Done) Key() uint64 { return d.key }
+
+// Arg returns the bound argument (0 for plain-callback tokens).
+func (d Done) Arg() uint64 { return d.arg }
+
+// WithArg returns a copy of the token with its bound argument replaced;
+// the snapshot subsystem uses it to rehydrate serialized (key, arg)
+// pairs from a registry of key prototypes.
+func (d Done) WithArg(arg uint64) Done {
+	d.arg = arg
+	return d
+}
 
 // Valid reports whether the token carries a callback (the analogue of the
 // old `done != nil` check).
@@ -140,6 +176,84 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // between" by comparing — the foundation of the device's order-safe
 // completion batching.
 func (e *Engine) ScheduleSeq() uint64 { return e.seq }
+
+// Clock returns the engine's full clock state — current cycle, next
+// schedule sequence number, and events fired — for snapshotting.
+func (e *Engine) Clock() (now Time, seq, fired uint64) {
+	return e.now, e.seq, e.fired
+}
+
+// RestoreClock overwrites the engine clock state with a previously
+// captured one. The snapshot-resume path calls it after ResetQueue so
+// that subsequently injected and scheduled events reproduce the saved
+// run's (when, seq) order exactly.
+func (e *Engine) RestoreClock(now Time, seq, fired uint64) {
+	e.now = now
+	e.seq = seq
+	e.fired = fired
+}
+
+// ResetQueue discards every pending event without firing it. Only the
+// snapshot-resume path uses it: a freshly booted kernel's constructor
+// events are replaced wholesale by the saved run's re-injected ones.
+func (e *Engine) ResetQueue() {
+	for i := range e.queue {
+		e.queue[i] = event{}
+	}
+	e.queue = e.queue[:0]
+}
+
+// Inject pushes an event with an explicit (when, seq) identity without
+// consuming the engine's sequence counter. The snapshot-resume path uses
+// it to re-create pending events whose owners recorded their scheduled
+// identity; when must not be in the past.
+func (e *Engine) Inject(comp Component, when Time, seq uint64, fn func()) {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: inject at %d before now %d", when, e.now))
+	}
+	e.push(event{when: when, seq: seq, fn: fn, comp: comp})
+}
+
+// InjectDone is Inject for a completion token.
+func (e *Engine) InjectDone(when Time, seq uint64, d Done) {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: inject at %d before now %d", when, e.now))
+	}
+	e.push(event{when: when, seq: seq, fn: d.fn, afn: d.afn, arg: d.arg, comp: d.comp})
+}
+
+// PendingKey identifies one queued event by its total-order position.
+type PendingKey struct {
+	When Time
+	Seq  uint64
+}
+
+// PendingKeys returns the (when, seq) identity of every queued event in
+// ascending order. The snapshot path cross-checks it against the events
+// each component claims ownership of, proving the queue was reconstructed
+// exactly.
+func (e *Engine) PendingKeys() []PendingKey {
+	out := make([]PendingKey, len(e.queue))
+	for i, ev := range e.queue {
+		out[i] = PendingKey{When: ev.when, Seq: ev.seq}
+	}
+	slices.SortFunc(out, func(a, b PendingKey) int {
+		if a.When != b.When {
+			if a.When < b.When {
+				return -1
+			}
+			return 1
+		}
+		if a.Seq != b.Seq {
+			if a.Seq < b.Seq {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	return out
+}
 
 // AssertDrained returns nil when no events are pending, or an error
 // naming the leftover count and the next due timestamp. Tests use it to
@@ -312,6 +426,11 @@ type Ticker struct {
 	tickFn  func() // t.tick, materialized once
 	comp    Component
 	stopped bool
+
+	// nextWhen/nextSeq record the scheduled identity of the pending tick
+	// so a snapshot can claim (and a resume re-inject) that exact event.
+	nextWhen Time
+	nextSeq  uint64
 }
 
 // NewTicker schedules fn to run every period cycles, attributing tick
@@ -322,6 +441,7 @@ func (e *Engine) NewTicker(comp Component, period Time, fn func()) *Ticker {
 	}
 	t := &Ticker{engine: e, period: period, fn: fn, comp: comp}
 	t.tickFn = t.tick
+	t.nextWhen, t.nextSeq = e.now+period, e.seq
 	e.Schedule(comp, period, t.tickFn)
 	return t
 }
@@ -332,9 +452,25 @@ func (t *Ticker) tick() {
 	}
 	t.fn()
 	if !t.stopped {
+		t.nextWhen, t.nextSeq = t.engine.now+t.period, t.engine.seq
 		t.engine.Schedule(t.comp, t.period, t.tickFn)
 	}
 }
 
 // Stop cancels future ticks. It is safe to call from within fn.
 func (t *Ticker) Stop() { t.stopped = true }
+
+// Stopped reports whether the ticker has been stopped.
+func (t *Ticker) Stopped() bool { return t.stopped }
+
+// NextFire returns the scheduled identity of the pending tick event.
+// Meaningless after Stop (the stale event stays queued but is a no-op);
+// the snapshot path still claims it so the queue cross-check balances.
+func (t *Ticker) NextFire() (when Time, seq uint64) { return t.nextWhen, t.nextSeq }
+
+// Rearm re-injects the pending tick event with an explicit identity on a
+// freshly reset engine queue (snapshot resume).
+func (t *Ticker) Rearm(when Time, seq uint64) {
+	t.nextWhen, t.nextSeq = when, seq
+	t.engine.Inject(t.comp, when, seq, t.tickFn)
+}
