@@ -6,6 +6,8 @@
 //
 //	prosper-experiments [-interval us] [-checkpoints n] [-ops n]
 //	                    [-parallel n] [-progress] [-list]
+//	                    [-journey-out FILE [-journey-sample-rate n]
+//	                    [-journey-seed s]]
 //	                    [fig1 fig2 ... | all | quick]
 //	prosper-experiments -crash-sweep [-crash-points n] [-crash-seed s]
 //	                    [-parallel n]
@@ -45,6 +47,7 @@ import (
 
 	"prosper/internal/crash"
 	"prosper/internal/experiments"
+	"prosper/internal/journey"
 	"prosper/internal/sim"
 	"prosper/internal/stats"
 	"prosper/internal/telemetry"
@@ -67,6 +70,9 @@ func main() {
 	progress := flag.Bool("progress", true, "report per-run progress (spec, sim cycles, wall seconds) on stderr")
 	progressJSON := flag.String("progress-json", "", "also append per-run progress records as JSON lines to FILE")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event / Perfetto JSON trace of every run to FILE")
+	journeyOut := flag.String("journey-out", "", "write sampled per-access journey records (JSON lines) of every run to FILE")
+	journeyRate := flag.Uint64("journey-sample-rate", 4096, "sample 1-in-N accesses for -journey-out (deterministic in the access sequence number)")
+	journeySeed := flag.Uint64("journey-seed", 1, "seed for -journey-out access sampling")
 	metricsOut := flag.String("metrics-out", "", "write periodic metrics-registry snapshots as JSON lines to FILE")
 	sampleEvery := flag.Int64("sample-every", 30_000, "telemetry sampling cadence in simulated cycles (30000 = 10 µs)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to FILE")
@@ -115,6 +121,11 @@ func main() {
 	if *traceOut != "" || *metricsOut != "" {
 		scale.Trace = telemetry.NewTrace()
 		scale.SampleEvery = sim.Time(*sampleEvery)
+	}
+	if *journeyOut != "" {
+		scale.Journal = journey.NewJournal()
+		scale.JourneySampleRate = *journeyRate
+		scale.JourneySeed = *journeySeed
 	}
 	if *cpuprofile != "" {
 		f := mustCreate(*cpuprofile)
@@ -212,6 +223,12 @@ func main() {
 		f := mustCreate(*metricsOut)
 		check(scale.Trace.WriteMetricsJSONL(f))
 		check(f.Close())
+	}
+	if *journeyOut != "" {
+		f := mustCreate(*journeyOut)
+		check(scale.Journal.WriteJSONL(f))
+		check(f.Close())
+		fmt.Fprintf(os.Stderr, "[journey journal written to %s — explore it with prosper-journey]\n", *journeyOut)
 	}
 	if *memprofile != "" {
 		f := mustCreate(*memprofile)

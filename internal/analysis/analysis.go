@@ -37,6 +37,7 @@ var DeterministicPackages = []string{
 	"internal/cache",
 	"internal/vm",
 	"internal/kernel",
+	"internal/journey",
 	"internal/prosper",
 	"internal/persist",
 	"internal/crash",

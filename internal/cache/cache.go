@@ -15,6 +15,7 @@
 package cache
 
 import (
+	"prosper/internal/journey"
 	"prosper/internal/mem"
 	"prosper/internal/sim"
 	"prosper/internal/stats"
@@ -67,17 +68,20 @@ type line struct {
 type mshr struct {
 	waiters []waiter
 	issued  sim.Time // when the line fetch left this level
+	jid     uint32   // first sampled waiter's journey; tags the downstream fetch
 }
 
 type waiter struct {
-	write bool
-	done  sim.Done
+	write   bool
+	done    sim.Done
+	arrived sim.Time // when this waiter joined the miss (journey spans)
 }
 
 type deferredAccess struct {
-	write bool
-	addr  uint64
-	done  sim.Done
+	write   bool
+	addr    uint64
+	done    sim.Done
+	arrived sim.Time // when MSHR exhaustion parked the access (journey spans)
 }
 
 // Cache is one set-associative write-back, write-allocate level.
@@ -122,6 +126,13 @@ type Cache struct {
 
 	hMissLatency *stats.Histogram // line-fetch latency, issue to fill
 	hMSHROcc     *stats.Histogram // MSHRs in use after each allocation
+
+	// journeys, when attached, receives stage spans for sampled accesses
+	// whose Done tokens carry a journey ID; stage is this level's lane.
+	// Both are boot-time wiring, excluded from snapshots by design: a
+	// journey-enabled spec is rejected by the snapshot runner (§15).
+	journeys *journey.Recorder
+	stage    journey.Stage
 }
 
 // New builds a cache level in front of next.
@@ -165,6 +176,13 @@ func New(eng *sim.Engine, cfg Config, next Port) *Cache {
 
 // Name returns the level's configured name.
 func (c *Cache) Name() string { return c.cfg.Name }
+
+// AttachJourneys wires the journey recorder into the level, declaring
+// which stage lane (L1/L2/L3) its spans land in.
+func (c *Cache) AttachJourneys(r *journey.Recorder, stage journey.Stage) {
+	c.journeys = r
+	c.stage = stage
+}
 
 func (c *Cache) setFor(lineAddr uint64) []line {
 	return c.sets[(lineAddr>>mem.LineShift)&c.setMask]
@@ -212,6 +230,10 @@ func (c *Cache) access(write bool, lineAddr uint64, done sim.Done) {
 		if write {
 			ln.dirty = true
 		}
+		if jid := done.Journey(); jid != 0 {
+			now := c.eng.Now()
+			c.journeys.Span(jid, c.stage, journey.CauseHit, now, now+c.cfg.Latency)
+		}
 		if done.Valid() {
 			c.eng.ScheduleDone(c.cfg.Latency, done)
 		}
@@ -225,19 +247,26 @@ func (c *Cache) miss(write bool, lineAddr uint64, done sim.Done) {
 		// Coalesce with the in-flight fetch of the same line.
 		c.cMisses.Inc()
 		c.cCoalesced.Inc()
-		m.waiters = append(m.waiters, waiter{write: write, done: done})
+		m.waiters = append(m.waiters, waiter{write: write, done: done, arrived: c.eng.Now()})
+		if m.jid == 0 {
+			// A sampled coalescer adopts the fetch if the initiator was
+			// unsampled, so the downstream levels still get tagged (the
+			// fetch token reads m.jid when it departs, latency cycles on).
+			m.jid = done.Journey()
+		}
 		return
 	}
 	if len(c.mshrs) >= c.cfg.MSHRs {
 		// Not yet a hit or a miss: the retry will classify it.
 		c.cMSHRStalls.Inc()
-		c.blocked = append(c.blocked, deferredAccess{write: write, addr: lineAddr, done: done})
+		c.blocked = append(c.blocked, deferredAccess{write: write, addr: lineAddr, done: done, arrived: c.eng.Now()})
 		return
 	}
 	c.cMisses.Inc()
 	m := c.allocMSHR()
-	m.waiters = append(m.waiters, waiter{write: write, done: done})
+	m.waiters = append(m.waiters, waiter{write: write, done: done, arrived: c.eng.Now()})
 	m.issued = c.eng.Now()
+	m.jid = done.Journey()
 	c.mshrs[lineAddr] = m
 	c.hMSHROcc.Observe(uint64(len(c.mshrs)))
 	// Fetch the line from the level below after paying the lookup latency.
@@ -245,8 +274,16 @@ func (c *Cache) miss(write bool, lineAddr uint64, done sim.Done) {
 }
 
 // fetch asks the next level for lineAddr; fill runs on its completion.
+// The fill token carries the miss's journey ID so the levels below tag
+// their spans against the same sampled access.
 func (c *Cache) fetch(lineAddr uint64) {
-	c.nextAccess(false, lineAddr, sim.Bind(sim.CompCache, c.fillFn, lineAddr))
+	tok := sim.Bind(sim.CompCache, c.fillFn, lineAddr)
+	if c.journeys != nil {
+		if m, ok := c.mshrs[lineAddr]; ok && m.jid != 0 {
+			tok = tok.WithJourney(m.jid)
+		}
+	}
+	c.nextAccess(false, lineAddr, tok)
 }
 
 func (c *Cache) fill(lineAddr uint64) {
@@ -262,10 +299,21 @@ func (c *Cache) fill(lineAddr uint64) {
 	}
 	c.lruClock++
 	*victim = line{tag: lineAddr, valid: true, lru: c.lruClock}
+	now := c.eng.Now()
 	for i := range m.waiters {
 		w := m.waiters[i]
 		if w.write {
 			victim.dirty = true
+		}
+		if jid := w.done.Journey(); jid != 0 {
+			// The level's whole share of the miss, waiter arrival to
+			// fill; deeper levels' spans carve out their sub-intervals
+			// in the attribution sweep.
+			cause := journey.CauseMiss
+			if i > 0 {
+				cause = journey.CauseCoalesced
+			}
+			c.journeys.Span(jid, c.stage, cause, w.arrived, now)
 		}
 		w.done.Run()
 	}
@@ -314,8 +362,12 @@ func (c *Cache) retryBlocked() {
 	// append to a distinct slice; the drained one becomes the next spare.
 	pend := c.blocked
 	c.blocked = c.retryBuf[:0]
+	now := c.eng.Now()
 	for i := range pend {
 		p := pend[i]
+		if jid := p.done.Journey(); jid != 0 {
+			c.journeys.Span(jid, journey.StageMSHR, journey.CauseMSHRFull, p.arrived, now)
+		}
 		c.access(p.write, p.addr, p.done)
 	}
 	for i := range pend {

@@ -18,6 +18,7 @@
 package experiments
 
 import (
+	"prosper/internal/journey"
 	"prosper/internal/kernel"
 	"prosper/internal/machine"
 	"prosper/internal/persist"
@@ -59,6 +60,15 @@ type Scale struct {
 	// SampleEvery is the telemetry occupancy/metrics sampling cadence in
 	// cycles (0: the kernel's 10 µs default).
 	SampleEvery sim.Time
+
+	// Journal, when non-nil, samples per-access journeys on every run:
+	// each spec gets its own recorder, allocated in plan order like the
+	// tracer lanes, so the serialized journal is byte-identical for any
+	// Workers value. JourneySampleRate is 1-in-N accesses (0 disables);
+	// JourneySeed seeds the sequence-number hash.
+	Journal           *journey.Journal
+	JourneySampleRate uint64
+	JourneySeed       uint64
 }
 
 // DefaultScale is the standard scaled-down configuration: 200 µs
@@ -192,6 +202,9 @@ func (s Scale) runPlan(figure string, rcs []runConfig) []RunStats {
 		if s.Trace != nil {
 			sp.Tracer = s.Trace.NewTracer(sp.DisplayLabel())
 			sp.SampleEvery = s.SampleEvery
+		}
+		if s.Journal != nil {
+			sp.Journey = s.Journal.NewRecorder(sp.DisplayLabel(), s.JourneySampleRate, s.JourneySeed)
 		}
 		specs[i] = sp
 	}

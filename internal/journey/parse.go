@@ -1,0 +1,215 @@
+package journey
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parsed is a journey journal read back from its JSONL form, preserving
+// run order and per-run journey order exactly as written.
+type Parsed struct {
+	Version int
+	Runs    []*ParsedRun
+}
+
+// ParsedRun is one run's header plus its finished journeys.
+type ParsedRun struct {
+	Name     string
+	Rate     uint64
+	Seed     uint64
+	Accesses uint64
+	Sampled  uint64
+	Finished uint64
+	Journeys []*ParsedJourney
+}
+
+// ParsedJourney is one journey line. Vec is indexed by Stage.
+type ParsedJourney struct {
+	JID     uint32
+	Seq     uint64
+	Write   bool
+	VAddr   uint64
+	Size    int
+	Start   int64
+	End     int64
+	Latency int64
+	Spans   []Span
+	Vec     [NumStages]int64
+}
+
+// DominantStage returns the stage charged the most cycles (ties to the
+// shallower stage).
+func (j *ParsedJourney) DominantStage() Stage {
+	best := Stage(0)
+	for s := 1; s < NumStages; s++ {
+		if j.Vec[s] > j.Vec[best] {
+			best = Stage(s)
+		}
+	}
+	return best
+}
+
+// rawLine is the union of the three journal line shapes; the pointer
+// fields discriminate which shape a line is.
+type rawLine struct {
+	Version *int    `json:"journey_journal"`
+	Run     *string `json:"run"`
+	JID     *uint32 `json:"jid"`
+
+	Rate     uint64 `json:"rate"`
+	Seed     uint64 `json:"seed"`
+	Accesses uint64 `json:"accesses"`
+	Sampled  uint64 `json:"sampled"`
+	Finished uint64 `json:"finished"`
+
+	Seq     uint64           `json:"seq"`
+	Kind    string           `json:"kind"`
+	VAddr   uint64           `json:"vaddr"`
+	Size    int              `json:"size"`
+	Start   int64            `json:"start"`
+	End     int64            `json:"end"`
+	Latency int64            `json:"latency"`
+	Stages  []rawSpan        `json:"stages"`
+	Vec     map[string]int64 `json:"vec"`
+}
+
+type rawSpan struct {
+	Stage string `json:"stage"`
+	Cause string `json:"cause"`
+	Enter int64  `json:"enter"`
+	Exit  int64  `json:"exit"`
+}
+
+// Parse reads a journal written by WriteJSONL. Any structural problem —
+// bad JSON, missing or unsupported format header, unknown stage or
+// cause names, a journey line before any run header — is an error
+// (prosper-journey maps these to exit status 2).
+func Parse(r io.Reader) (*Parsed, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	out := &Parsed{Version: -1}
+	var cur *ParsedRun
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var raw rawLine
+		if err := json.Unmarshal([]byte(line), &raw); err != nil {
+			return nil, fmt.Errorf("journey: line %d: malformed JSON: %v", lineNo, err)
+		}
+		switch {
+		case raw.Version != nil:
+			if out.Version != -1 {
+				return nil, fmt.Errorf("journey: line %d: duplicate format header", lineNo)
+			}
+			if *raw.Version != FormatVersion {
+				return nil, fmt.Errorf("journey: line %d: unsupported journal version %d (tool supports %d)",
+					lineNo, *raw.Version, FormatVersion)
+			}
+			out.Version = *raw.Version
+		case raw.Run != nil:
+			if out.Version == -1 {
+				return nil, fmt.Errorf("journey: line %d: run header before format header", lineNo)
+			}
+			cur = &ParsedRun{
+				Name: *raw.Run, Rate: raw.Rate, Seed: raw.Seed,
+				Accesses: raw.Accesses, Sampled: raw.Sampled, Finished: raw.Finished,
+			}
+			out.Runs = append(out.Runs, cur)
+		case raw.JID != nil:
+			if cur == nil {
+				return nil, fmt.Errorf("journey: line %d: journey line before any run header", lineNo)
+			}
+			j, err := parseJourney(&raw)
+			if err != nil {
+				return nil, fmt.Errorf("journey: line %d: %v", lineNo, err)
+			}
+			cur.Journeys = append(cur.Journeys, j)
+		default:
+			return nil, fmt.Errorf("journey: line %d: unrecognized line shape", lineNo)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("journey: read: %v", err)
+	}
+	if out.Version == -1 {
+		return nil, fmt.Errorf("journey: missing format header (not a journey journal?)")
+	}
+	return out, nil
+}
+
+func parseJourney(raw *rawLine) (*ParsedJourney, error) {
+	j := &ParsedJourney{
+		JID: *raw.JID, Seq: raw.Seq, VAddr: raw.VAddr, Size: raw.Size,
+		Start: raw.Start, End: raw.End, Latency: raw.Latency,
+	}
+	switch raw.Kind {
+	case "load":
+	case "store":
+		j.Write = true
+	default:
+		return nil, fmt.Errorf("jid %d: unknown kind %q", j.JID, raw.Kind)
+	}
+	if j.Latency != j.End-j.Start {
+		return nil, fmt.Errorf("jid %d: latency %d != end-start %d", j.JID, j.Latency, j.End-j.Start)
+	}
+	for _, rs := range raw.Stages {
+		st, ok := StageFromName(rs.Stage)
+		if !ok {
+			return nil, fmt.Errorf("jid %d: unknown stage %q", j.JID, rs.Stage)
+		}
+		ca, ok := CauseFromName(rs.Cause)
+		if !ok {
+			return nil, fmt.Errorf("jid %d: unknown cause %q", j.JID, rs.Cause)
+		}
+		if rs.Exit < rs.Enter {
+			return nil, fmt.Errorf("jid %d: span %s exits (%d) before it enters (%d)", j.JID, rs.Stage, rs.Exit, rs.Enter)
+		}
+		j.Spans = append(j.Spans, Span{Stage: st, Cause: ca, Enter: rs.Enter, Exit: rs.Exit})
+	}
+	// Rehydrate the vec by probing known stage names (never ranging the
+	// map, which would be nondeterministic); every key must be a known
+	// stage, which the matched-count check enforces.
+	matched := 0
+	for s := 0; s < NumStages; s++ {
+		if v, ok := raw.Vec[stageNames[s]]; ok {
+			j.Vec[s] = v
+			matched++
+		}
+	}
+	if matched != len(raw.Vec) {
+		return nil, fmt.Errorf("jid %d: vec contains %d unknown stage keys", j.JID, len(raw.Vec)-matched)
+	}
+	return j, nil
+}
+
+// CheckInvariants asserts the journal's core guarantees: every
+// journey's stage vector sums exactly to its measured latency, and
+// every span lies within [Start, End]. It returns the first violation.
+func (p *Parsed) CheckInvariants() error {
+	for _, run := range p.Runs {
+		for _, j := range run.Journeys {
+			var sum int64
+			for s := 0; s < NumStages; s++ {
+				sum += j.Vec[s]
+			}
+			if sum != j.Latency {
+				return fmt.Errorf("journey: run %q jid %d: stage vector sums to %d, measured latency %d",
+					run.Name, j.JID, sum, j.Latency)
+			}
+			for _, sp := range j.Spans {
+				if sp.Enter < j.Start || sp.Exit > j.End {
+					return fmt.Errorf("journey: run %q jid %d: span %s [%d,%d) outside journey [%d,%d)",
+						run.Name, j.JID, sp.Stage, sp.Enter, sp.Exit, j.Start, j.End)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"prosper/internal/journey"
 	"prosper/internal/machine"
 	"prosper/internal/mem"
 	"prosper/internal/persist"
@@ -42,6 +43,10 @@ type Config struct {
 	// SampleEvery is the occupancy/metrics sampling cadence in cycles
 	// (default 10 µs of sim time); only meaningful with a Tracer.
 	SampleEvery sim.Time
+	// Journey, when non-nil, samples end-to-end access journeys on every
+	// component of the memory path (internal/journey). Nil (the default)
+	// keeps the access path on its zero-allocation fast path.
+	Journey *journey.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +105,7 @@ type coreState struct {
 func New(cfg Config) *Kernel {
 	cfg = cfg.withDefaults()
 	m := machine.New(cfg.Machine)
+	m.AttachJourneys(cfg.Journey)
 	k := &Kernel{
 		Cfg:      cfg,
 		Mach:     m,

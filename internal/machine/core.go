@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"prosper/internal/cache"
+	"prosper/internal/journey"
 	"prosper/internal/mem"
 	"prosper/internal/sim"
 	"prosper/internal/stats"
@@ -60,6 +61,16 @@ type Core struct {
 	// relCreditTok returns one store-buffer credit on L1 completion; the
 	// method value is materialized once here instead of per store.
 	relCreditTok sim.Done
+	// relCreditJFn is the sampled-store variant: it releases the credit
+	// and retires the store's journey segment (the journey ID rides the
+	// token's bound argument). Materialized once; only sampled stores
+	// bind it, so the tracing-off path never touches it.
+	relCreditJFn func(uint64)
+
+	// journeys, when attached, samples and records per-access journeys.
+	// Boot-time wiring like mach/eng: the snapshot runner rejects
+	// journey-enabled specs, so there is no state to save (§15).
+	journeys *journey.Recorder
 
 	// Continuation free lists. Records cycle between the pools and the
 	// in-flight sets; their bound callbacks are created at record birth.
@@ -82,6 +93,7 @@ func newCore(m *Machine, id int) *Core {
 		Counters:     stats.NewCounters(),
 	}
 	c.relCreditTok = sim.Thunk(sim.CompWorkload, c.releaseStoreCredit)
+	c.relCreditJFn = c.releaseStoreCreditJourney
 	return c
 }
 
@@ -106,6 +118,8 @@ type segOp struct {
 	off, n int
 	write  bool
 	paddr  uint64
+	jid    uint32   // journey of the parent access (0: unsampled)
+	sbWait sim.Time // when the segment began waiting for a store credit
 
 	translatedFn func(uint64)
 	lineDoneTok  sim.Done
@@ -127,6 +141,7 @@ type walkOp struct {
 	kind  walkKind
 	vaddr uint64
 	write bool
+	jid   uint32 // journey of the access that triggered the walk
 	k     func(uint64)
 	entry *vm.TLBEntry // dirty-set walks: the hitting TLB entry
 	addrs [4]uint64
@@ -212,10 +227,10 @@ func (c *Core) SwitchContext(as *vm.AddressSpace) {
 // models TLB lookup, hardware page walks (timed reads through L2 of the
 // real walk addresses), dirty-bit setting walks on first store to a clean
 // page, and page faults through the kernel handler.
-func (c *Core) translate(vaddr uint64, write bool, k func(paddr uint64)) {
+func (c *Core) translate(vaddr uint64, write bool, jid uint32, k func(paddr uint64)) {
 	if e := c.TLB.Lookup(vaddr); e != nil {
 		if write && !e.Write {
-			c.fault(vaddr, write, k)
+			c.fault(vaddr, write, jid, k)
 			return
 		}
 		if write && !e.Dirty {
@@ -225,6 +240,7 @@ func (c *Core) translate(vaddr uint64, write bool, k func(paddr uint64)) {
 			w := c.allocWalk()
 			w.kind = walkDirtySet
 			w.vaddr, w.write, w.k, w.entry = vaddr, write, k, e
+			w.jid = jid
 			c.startWalk(w)
 			return
 		}
@@ -235,6 +251,7 @@ func (c *Core) translate(vaddr uint64, write bool, k func(paddr uint64)) {
 	w := c.allocWalk()
 	w.kind = walkTLBMiss
 	w.vaddr, w.write, w.k = vaddr, write, k
+	w.jid = jid
 	c.startWalk(w)
 }
 
@@ -257,7 +274,7 @@ func (w *walkOp) step() {
 	}
 	a := w.addrs[w.i]
 	w.i++
-	c.l2.Access(false, a, w.stepFn)
+	c.l2.Access(false, a, w.stepFn.WithJourney(w.jid))
 }
 
 // finish completes the walk: it re-reads the page table functionally and
@@ -266,13 +283,21 @@ func (w *walkOp) step() {
 // continuation itself triggers.
 func (w *walkOp) finish() {
 	c := w.core
-	vaddr, write, k := w.vaddr, w.write, w.k
+	vaddr, write, jid := w.vaddr, w.write, w.jid
+	k := w.k
+	if jid != 0 {
+		cause := journey.CauseWalk
+		if w.kind == walkDirtySet {
+			cause = journey.CauseDirtySet
+		}
+		c.journeys.Span(jid, journey.StageTLB, cause, w.began, c.eng.Now())
+	}
 	if w.kind == walkDirtySet {
 		e := w.entry
 		c.freeWalk(w)
 		pte := c.AS.PT.Lookup(vaddr)
 		if pte == nil || !pte.Present() {
-			c.fault(vaddr, write, k)
+			c.fault(vaddr, write, jid, k)
 			return
 		}
 		pte.Flags |= vm.FlagDirty | vm.FlagAccess
@@ -284,7 +309,7 @@ func (w *walkOp) finish() {
 	c.freeWalk(w)
 	paddr, pte, ok := c.AS.PT.Translate(vaddr)
 	if !ok || (write && !pte.Writable()) {
-		c.fault(vaddr, write, k)
+		c.fault(vaddr, write, jid, k)
 		return
 	}
 	pte.Flags |= vm.FlagAccess
@@ -299,7 +324,7 @@ func (w *walkOp) finish() {
 // retries the translation. An unresolvable fault panics: simulated
 // workloads are not supposed to segfault. Faults are rare, so the retry
 // closure is the one place the translation path still allocates.
-func (c *Core) fault(vaddr uint64, write bool, k func(uint64)) {
+func (c *Core) fault(vaddr uint64, write bool, jid uint32, k func(uint64)) {
 	c.Counters.Inc("core.page_faults")
 	if c.OnFault == nil {
 		panic("machine: page fault with no handler")
@@ -307,9 +332,13 @@ func (c *Core) fault(vaddr uint64, write bool, k func(uint64)) {
 	if err := c.OnFault(vaddr, write); err != nil {
 		panic("machine: " + err.Error())
 	}
+	if jid != 0 {
+		now := c.eng.Now()
+		c.journeys.Span(jid, journey.StageTLB, journey.CauseFault, now, now+c.mach.Cfg.PageFaultCycles)
+	}
 	c.TLB.Invalidate(vaddr)
 	c.eng.Schedule(sim.CompVM, c.mach.Cfg.PageFaultCycles, func() {
-		c.translate(vaddr, write, k)
+		c.translate(vaddr, write, jid, k)
 	})
 }
 
@@ -334,7 +363,8 @@ func (c *Core) Read(vaddr uint64, size int, done func([]byte)) {
 		op.buf = op.buf[:size]
 	}
 	op.remaining = mem.LinesSpanned(vaddr, size)
-	c.issueSegs(op, vaddr, size, false)
+	jid := c.journeys.Start(c.eng.Now(), false, vaddr, size, op.remaining)
+	c.issueSegs(op, vaddr, size, false, jid)
 }
 
 // Write performs a store of data at vaddr. done fires when the store has
@@ -357,12 +387,13 @@ func (c *Core) Write(vaddr uint64, data []byte, done func()) {
 	op.data = data
 	op.writeDone = done
 	op.remaining = mem.LinesSpanned(vaddr, len(data))
-	c.issueSegs(op, vaddr, len(data), true)
+	jid := c.journeys.Start(c.eng.Now(), true, vaddr, len(data), op.remaining)
+	c.issueSegs(op, vaddr, len(data), true, jid)
 }
 
 // issueSegs cuts [vaddr, vaddr+size) at cache-line boundaries and starts
 // one segment record per line, in address order.
-func (c *Core) issueSegs(op *memOp, vaddr uint64, size int, write bool) {
+func (c *Core) issueSegs(op *memOp, vaddr uint64, size int, write bool, jid uint32) {
 	off := 0
 	for size > 0 {
 		space := int(mem.LineSize - (vaddr & (mem.LineSize - 1)))
@@ -373,7 +404,8 @@ func (c *Core) issueSegs(op *memOp, vaddr uint64, size int, write bool) {
 		s := c.allocSeg()
 		s.op = op
 		s.va, s.off, s.n, s.write = vaddr, off, n, write
-		c.translate(vaddr, write, s.translatedFn)
+		s.jid = jid
+		c.translate(vaddr, write, jid, s.translatedFn)
 		vaddr += uint64(n)
 		off += n
 		size -= n
@@ -387,7 +419,7 @@ func (s *segOp) translated(paddr uint64) {
 	c := s.core
 	if !s.write {
 		c.mach.Storage.Read(paddr, s.op.buf[s.off:s.off+s.n])
-		c.l1.Access(false, paddr, s.lineDoneTok)
+		c.l1.Access(false, paddr, s.lineDoneTok.WithJourney(s.jid))
 		return
 	}
 	c.mach.Storage.Write(paddr, s.op.data[s.off:s.off+s.n])
@@ -398,6 +430,10 @@ func (s *segOp) translated(paddr uint64) {
 	s.paddr = paddr
 	if stall > 0 {
 		c.Counters.Inc("core.store_hook_stalls")
+		if s.jid != 0 {
+			now := c.eng.Now()
+			c.journeys.Span(s.jid, journey.StageHook, journey.CauseStoreHook, now, now+stall)
+		}
 		c.eng.Schedule(sim.CompWorkload, stall, s.issueFn)
 	} else {
 		s.issue()
@@ -408,6 +444,9 @@ func (s *segOp) translated(paddr uint64) {
 func (s *segOp) lineDone() {
 	c := s.core
 	op := s.op
+	if s.jid != 0 {
+		c.journeys.SegDone(s.jid, c.eng.Now())
+	}
 	c.freeSeg(s)
 	op.remaining--
 	if op.remaining == 0 {
@@ -420,16 +459,30 @@ func (s *segOp) lineDone() {
 
 // issue enters a write segment into the store-credit queue.
 func (s *segOp) issue() {
+	if s.jid != 0 {
+		s.sbWait = s.core.eng.Now()
+	}
 	s.core.acquireStoreCredit(s.creditFn)
 }
 
 // credited runs once the store buffer accepts the segment: the timed L1
 // write goes out carrying the credit-release token, and the segment
 // retires (program order continues at acceptance, not completion).
+// A sampled store's journey runs to memory-system completion, not
+// acceptance: its token retires the journey segment when the credit
+// comes back.
 func (s *segOp) credited() {
 	c := s.core
 	op := s.op
-	c.l1.Access(true, s.paddr, c.relCreditTok)
+	tok := c.relCreditTok
+	if s.jid != 0 {
+		now := c.eng.Now()
+		if now > s.sbWait {
+			c.journeys.Span(s.jid, journey.StageStoreBuf, journey.CauseSBFull, s.sbWait, now)
+		}
+		tok = sim.Bind(sim.CompWorkload, c.relCreditJFn, uint64(s.jid)).WithJourney(s.jid)
+	}
+	c.l1.Access(true, s.paddr, tok)
 	c.freeSeg(s)
 	op.remaining--
 	if op.remaining == 0 {
@@ -448,6 +501,13 @@ func (c *Core) acquireStoreCredit(k func()) {
 	}
 	c.Counters.Inc("core.store_buffer_stalls")
 	c.storeWaiters = append(c.storeWaiters, k)
+}
+
+// releaseStoreCreditJourney is the sampled-store completion: the credit
+// returns and the journey's segment retires at true completion time.
+func (c *Core) releaseStoreCreditJourney(jid uint64) {
+	c.releaseStoreCredit()
+	c.journeys.SegDone(uint32(jid), c.eng.Now())
 }
 
 func (c *Core) releaseStoreCredit() {

@@ -7,6 +7,7 @@ package machine
 
 import (
 	"prosper/internal/cache"
+	"prosper/internal/journey"
 	"prosper/internal/mem"
 	"prosper/internal/sim"
 	"prosper/internal/stats"
@@ -122,6 +123,28 @@ func New(cfg Config) *Machine {
 		m.Cores = append(m.Cores, newCore(m, i))
 	}
 	return m
+}
+
+// AttachJourneys wires a journey recorder through every component on the
+// access path: cores (issue/TLB/store-buffer spans), all three cache
+// levels, and both memory devices. Call once right after New, before any
+// traffic; a nil recorder is a no-op (tracing off).
+func (m *Machine) AttachJourneys(r *journey.Recorder) {
+	if r == nil {
+		return
+	}
+	for _, c := range m.Cores {
+		c.journeys = r
+	}
+	for _, l1 := range m.Hier.L1D {
+		l1.AttachJourneys(r, journey.StageL1)
+	}
+	for _, l2 := range m.Hier.L2 {
+		l2.AttachJourneys(r, journey.StageL2)
+	}
+	m.Hier.L3.AttachJourneys(r, journey.StageL3)
+	m.Ctl.DRAM.AttachJourneys(r, false)
+	m.Ctl.NVM.AttachJourneys(r, true)
 }
 
 // Crash models a power failure in place on the shared Storage: all

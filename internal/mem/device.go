@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"prosper/internal/journey"
 	"prosper/internal/sim"
 	"prosper/internal/stats"
 )
@@ -150,6 +151,14 @@ type Device struct {
 	hBankWait     *stats.Histogram
 	hReadLatency  *stats.Histogram
 	hWriteLatency *stats.Histogram
+
+	// journeys, when attached, receives queue/service/drain spans for
+	// sampled accesses (tokens carrying a journey ID). jNVM marks the
+	// device as the persistence-side NVM so sampled write service is
+	// charged to the drain stage. Boot-time wiring, excluded from
+	// snapshots: the snapshot runner rejects journey-enabled specs (§15).
+	journeys *journey.Recorder
+	jNVM     bool
 }
 
 // NewDevice builds a device timing model on the given engine.
@@ -185,6 +194,13 @@ func (d *Device) Name() string { return d.cfg.Name }
 // write stream (nil detaches it).
 func (d *Device) SetPersistSink(s PersistSink) { d.sink = s }
 
+// AttachJourneys wires the journey recorder into the device; nvm marks
+// the device whose write service counts as persistence-domain drain.
+func (d *Device) AttachJourneys(r *journey.Recorder, nvm bool) {
+	d.journeys = r
+	d.jNVM = nvm
+}
+
 // Access requests one line-sized access at addr; done fires when the
 // device completes it. Writes may be delayed by write-buffer backpressure.
 func (d *Device) Access(write bool, addr uint64, done sim.Done) {
@@ -212,6 +228,7 @@ func (d *Device) start(p pendingAccess) {
 		start = d.bankFreeAt[bank]
 	}
 	d.hBankWait.Observe(uint64(start - now))
+	bankStart := start
 	if d.busFreeAt > start {
 		start = d.busFreeAt
 	}
@@ -237,6 +254,28 @@ func (d *Device) start(p pendingAccess) {
 		d.hWriteLatency.Observe(uint64(finish - p.arrived))
 	} else {
 		d.hReadLatency.Observe(uint64(finish - p.arrived))
+	}
+	if jid := p.done.Journey(); jid != 0 {
+		// All service timing is known here, so the spans are recorded
+		// up front at their true (deterministic) cycles.
+		if now > p.arrived {
+			d.journeys.Span(jid, journey.StageDevQueue, journey.CauseBufferStall, p.arrived, now)
+		}
+		if start > now {
+			cause := journey.CauseBankConflict
+			if start > bankStart {
+				cause = journey.CauseBusWait
+			}
+			d.journeys.Span(jid, journey.StageDevQueue, cause, now, start)
+		}
+		svcStage, svcCause := journey.StageDevService, journey.CauseDRAM
+		if d.jNVM {
+			svcCause = journey.CauseNVM
+			if p.write && d.sink != nil {
+				svcStage, svcCause = journey.StageDrain, journey.CauseNVMDrain
+			}
+		}
+		d.journeys.Span(jid, svcStage, svcCause, start, finish)
 	}
 	d.enqueueCompletion(finish, devCompletion{write: p.write, addr: p.addr, done: p.done})
 }

@@ -12,10 +12,14 @@ import (
 )
 
 // ErrSnapshotUnsupported reports a spec whose host-side observers cannot
-// cross a snapshot: telemetry tracers and event profilers hold host
-// state (open spans, wall-clock accumulators) no snapshot can carry.
+// cross a snapshot: telemetry tracers, event profilers, and journey
+// recorders hold host state (open spans, wall-clock accumulators,
+// in-flight journeys keyed by live record identity) no snapshot can
+// carry. This is the documented exclusion of journey state from the
+// snapshot format (DESIGN.md §15): journey-enabled specs are rejected
+// here instead of silently dropping trace state across a resume.
 var ErrSnapshotUnsupported = errors.New(
-	"runner: telemetry tracing and event profiling cannot cross a snapshot")
+	"runner: telemetry tracing, event profiling, and journey recording cannot cross a snapshot")
 
 // ErrSpecMismatch reports a resume attempted with a spec that differs
 // from the one that saved the snapshot.
@@ -100,7 +104,7 @@ func (sp Spec) RunSnapshot(w io.Writer, snapAt int) (RunStats, error) {
 // for callers that inspect post-run state (tests dump stats from it).
 func (sp Spec) runSnapshot(w io.Writer, snapAt int) (RunStats, *kernel.Kernel, error) {
 	sp = sp.withDefaults()
-	if sp.Tracer.Enabled() || sp.Profile {
+	if sp.Tracer.Enabled() || sp.Profile || sp.Journey != nil {
 		return RunStats{}, nil, ErrSnapshotUnsupported
 	}
 	if !sp.Checkpoint {
@@ -156,7 +160,7 @@ func (sp Spec) ResumeRun(r io.Reader) (RunStats, error) {
 // callers that inspect post-run state (tests dump stats from it).
 func (sp Spec) resume(r io.Reader) (RunStats, *kernel.Kernel, error) {
 	sp = sp.withDefaults()
-	if sp.Tracer.Enabled() || sp.Profile {
+	if sp.Tracer.Enabled() || sp.Profile || sp.Journey != nil {
 		return RunStats{}, nil, ErrSnapshotUnsupported
 	}
 	k, _ := sp.boot()

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"testing"
 
+	"prosper/internal/journey"
 	"prosper/internal/persist"
 	"prosper/internal/sim"
 	"prosper/internal/snapshot"
@@ -191,6 +192,14 @@ func TestSnapshotRejectsUnsupportedSpecs(t *testing.T) {
 		t.Fatalf("profiled spec: got %v, want ErrSnapshotUnsupported", err)
 	}
 	sp.Profile = false
+	sp.Journey = journey.NewRecorder("snap", 64, 1)
+	if _, err := sp.RunSnapshot(&bytes.Buffer{}, 1); !errors.Is(err, ErrSnapshotUnsupported) {
+		t.Fatalf("journey-enabled spec: got %v, want ErrSnapshotUnsupported", err)
+	}
+	if _, err := sp.ResumeRun(&bytes.Buffer{}); !errors.Is(err, ErrSnapshotUnsupported) {
+		t.Fatalf("journey-enabled resume: got %v, want ErrSnapshotUnsupported", err)
+	}
+	sp.Journey = nil
 	sp.Checkpoint = false
 	if _, err := sp.RunSnapshot(&bytes.Buffer{}, 1); !errors.Is(err, snapshot.ErrNotQuiescent) {
 		t.Fatalf("checkpoint-less spec: got %v, want ErrNotQuiescent", err)

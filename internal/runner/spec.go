@@ -14,6 +14,7 @@ package runner
 
 import (
 	"prosper/internal/hostprof"
+	"prosper/internal/journey"
 	"prosper/internal/kernel"
 	"prosper/internal/machine"
 	"prosper/internal/persist"
@@ -80,6 +81,14 @@ type Spec struct {
 	// informational. Off by default: the unprofiled dispatch path is the
 	// one the allocation ratchet pins.
 	Profile bool
+
+	// Journey, when non-nil, samples end-to-end access journeys during
+	// the run (internal/journey). Like Tracer, every spec needs its own
+	// Recorder, allocated in plan order from a journey.Journal so the
+	// serialized journal is identical for any worker count. When both
+	// Journey and Tracer are set, the finished journeys are also exported
+	// onto the tracer as per-stage span lanes with flow links.
+	Journey *journey.Recorder
 }
 
 // DisplayLabel returns Label, falling back to Name.
@@ -211,6 +220,7 @@ func (sp Spec) boot() (*kernel.Kernel, *sim.Profile) {
 		TrackerCfg:  sp.Tracker,
 		Tracer:      sp.Tracer,
 		SampleEvery: sp.SampleEvery,
+		Journey:     sp.Journey,
 	})
 	var prof *sim.Profile
 	if sp.Profile {
@@ -359,6 +369,7 @@ func (sp Spec) Run() RunStats {
 		telemetry.U("checkpoints", res.Checkpoints),
 		telemetry.U("checkpoint_bytes", res.CheckpointBytes),
 	)
+	journey.ExportTrace(sp.Journey, sp.Tracer)
 	return res
 }
 

@@ -77,11 +77,19 @@ func (ev event) less(other event) bool {
 // A token carries the Component that owns its callback, declared once at
 // the Thunk/Bind birth site; ScheduleDone/AtDone attribute the resulting
 // event to that owner.
+// A token also carries an optional journey ID (see internal/journey):
+// when a sampled access's completion chain is handed down the hierarchy,
+// WithJourney stamps the token and each component reads Journey() to tag
+// the spans it records. The slot packs into the struct's existing
+// padding next to comp, so carrying it is free, and an unstamped token's
+// jid is 0 ("not sampled") — the tracing-off path costs one predictable
+// branch per component and zero allocations.
 type Done struct {
 	fn   func()
 	afn  func(uint64)
 	arg  uint64
 	comp Component
+	jid  uint32
 	key  uint64
 }
 
@@ -131,6 +139,18 @@ func (d Done) WithArg(arg uint64) Done {
 	d.arg = arg
 	return d
 }
+
+// WithJourney returns a copy of the token stamped with a journey ID;
+// components downstream read it back with Journey. Stamping jid 0 is the
+// identity (an unsampled access).
+func (d Done) WithJourney(jid uint32) Done {
+	d.jid = jid
+	return d
+}
+
+// Journey returns the journey ID the token was stamped with (0 when the
+// access is not sampled or tracing is off).
+func (d Done) Journey() uint32 { return d.jid }
 
 // Valid reports whether the token carries a callback (the analogue of the
 // old `done != nil` check).

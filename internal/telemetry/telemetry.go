@@ -53,13 +53,15 @@ func S(key, v string) Arg { return Arg{Key: key, str: v, isStr: true} }
 type Track struct{ tid int }
 
 // event is one recorded trace event. ph follows the Chrome trace-event
-// phase codes: 'X' complete span, 'i' instant, 'C' counter, 'M' metadata.
+// phase codes: 'X' complete span, 'i' instant, 'C' counter, 'M' metadata,
+// and 's'/'t'/'f' flow start/step/finish (id carries the flow identity).
 type event struct {
 	ph   byte
 	tid  int
 	name string
 	ts   sim.Time
 	dur  sim.Time
+	id   uint64
 	args []Arg
 }
 
@@ -139,6 +141,51 @@ func (s Span) End(args ...Arg) {
 		ph: 'X', tid: s.track.tid, name: s.name,
 		ts: s.start, dur: s.t.now() - s.start, args: args,
 	})
+}
+
+// SpanAt records a complete span with an explicit start and duration
+// instead of the engine clock. Post-hoc exporters (internal/journey)
+// use it to serialize spans whose cycles were recorded during the run.
+func (t *Tracer) SpanAt(track Track, name string, start, dur sim.Time, args ...Arg) {
+	if t == nil {
+		return
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	t.events = append(t.events, event{
+		ph: 'X', tid: track.tid, name: name, ts: start, dur: dur, args: args,
+	})
+}
+
+// FlowStart opens a flow arrow (Chrome phase 's') with identity id at an
+// explicit timestamp. Perfetto draws an arrow from here through every
+// FlowStep with the same id to the matching FlowEnd, linking related
+// spans across tracks; the (ts, track) pair should sit inside the span
+// the arrow departs from.
+func (t *Tracer) FlowStart(track Track, name string, id uint64, ts sim.Time) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, event{ph: 's', tid: track.tid, name: name, ts: ts, id: id})
+}
+
+// FlowStep continues flow id through an intermediate span ('t').
+func (t *Tracer) FlowStep(track Track, name string, id uint64, ts sim.Time) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, event{ph: 't', tid: track.tid, name: name, ts: ts, id: id})
+}
+
+// FlowEnd terminates flow id ('f'). Emitted with binding point "e"
+// (enclosing slice) so the arrowhead attaches to the span containing
+// the timestamp, per the trace-event spec.
+func (t *Tracer) FlowEnd(track Track, name string, id uint64, ts sim.Time) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, event{ph: 'f', tid: track.tid, name: name, ts: ts, id: id})
 }
 
 // Instant records a point event on the track.
@@ -262,6 +309,10 @@ func writeEvent(bw *bufio.Writer, pid int, e *event, first *bool) {
 		fmt.Fprintf(bw, `,"ts":%d,"s":"t"`, e.ts)
 	case 'C':
 		fmt.Fprintf(bw, `,"ts":%d`, e.ts)
+	case 's', 't':
+		fmt.Fprintf(bw, `,"ts":%d,"id":%d`, e.ts, e.id)
+	case 'f':
+		fmt.Fprintf(bw, `,"ts":%d,"id":%d,"bp":"e"`, e.ts, e.id)
 	}
 	if len(e.args) > 0 {
 		bw.WriteString(`,"args":{`)

@@ -299,3 +299,57 @@ func TestRegistryEmptyPrefix(t *testing.T) {
 		t.Fatalf("empty prefix snapshot = %v %v", names, values)
 	}
 }
+
+// TestFlowEventsGolden pins the serialized form of flow arrows and
+// explicit-timestamp spans — the shapes ExportTrace uses to render
+// journey span trees with flow links: phase codes s/t/f, the flow id
+// field, and the "bp":"e" binding point on the terminator.
+func TestFlowEventsGolden(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := NewTrace()
+	tc := tr.NewTracer("flow-run")
+	tc.Bind(eng)
+	l1 := tc.Track("journey/l1")
+	dev := tc.Track("journey/dev_service")
+
+	tc.SpanAt(l1, "l1", 100, 3, U("jid", 7))
+	tc.FlowStart(l1, "journey", 7, 100)
+	tc.SpanAt(dev, "dev_service", 103, -5) // negative dur clamps to 0
+	tc.FlowStep(dev, "journey", 7, 103)
+	tc.FlowEnd(dev, "journey", 7, 110)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceEvents":[
+{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"flow-run"}},
+{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"journey/l1"}},
+{"name":"thread_name","ph":"M","pid":1,"tid":2,"args":{"name":"journey/dev_service"}},
+{"name":"l1","ph":"X","pid":1,"tid":1,"ts":100,"dur":3,"args":{"jid":7}},
+{"name":"journey","ph":"s","pid":1,"tid":1,"ts":100,"id":7},
+{"name":"dev_service","ph":"X","pid":1,"tid":2,"ts":103,"dur":0},
+{"name":"journey","ph":"t","pid":1,"tid":2,"ts":103,"id":7},
+{"name":"journey","ph":"f","pid":1,"tid":2,"ts":110,"id":7,"bp":"e"}
+]}
+`
+	if buf.String() != want {
+		t.Fatalf("serialized flow trace differs:\n got: %s\nwant: %s", buf.String(), want)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("golden flow trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 8 {
+		t.Fatalf("parsed %d events, want 8", len(parsed.TraceEvents))
+	}
+
+	// The nil tracer stays a no-op for the new shapes too.
+	var off *Tracer
+	off.SpanAt(l1, "x", 0, 1)
+	off.FlowStart(l1, "x", 1, 0)
+	off.FlowStep(l1, "x", 1, 0)
+	off.FlowEnd(l1, "x", 1, 0)
+}
