@@ -29,6 +29,16 @@ var fixturePath = map[string]string{
 	// The snapshot pass checks any package with SaveSnap/LoadSnap pairs;
 	// the synthetic path just has to dodge the real ones.
 	"testdata/src/snapshot": "prosper/internal/fixsnap",
+	// hotalloc reaches wherever //prosperlint:hotpath roots are declared,
+	// so its fixture needs no deterministic-package pose; it imports the
+	// real internal/sim to exercise continuation-edge detection.
+	"testdata/src/hotalloc": "prosper/internal/fixhot",
+	// The ownership pair: fixowner owns the state under a synthetic
+	// domain; fixwriter poses as internal/trace (sim-deterministic) so
+	// its pokes count as sim-time writes. fixowner must be loaded first
+	// so fixwriter's import resolves from the loader cache.
+	"testdata/src/ownership/fixowner":  "prosper/internal/fixowner",
+	"testdata/src/ownership/fixwriter": "prosper/internal/trace",
 }
 
 func loadFixtures(t *testing.T, dirs ...string) (*Loader, []*Package) {
@@ -110,6 +120,25 @@ func runFixture(t *testing.T, passes []Pass, dirs ...string) *Report {
 	l, pkgs := loadFixtures(t, dirs...)
 	r := &Runner{Loader: l, Passes: passes}
 	return r.Analyze(pkgs)
+}
+
+func TestHotAllocPass(t *testing.T) {
+	rep := runFixture(t, []Pass{NewHotAlloc()}, "testdata/src/hotalloc")
+	_, pkgs := loadFixtures(t, "testdata/src/hotalloc")
+	checkAgainstWants(t, rep, collectWants(pkgs))
+	if rep.Suppressed != 0 {
+		t.Errorf("suppressed = %d, want 0 (fixture has no ignore directives)", rep.Suppressed)
+	}
+}
+
+func TestOwnershipPass(t *testing.T) {
+	rep := runFixture(t, []Pass{NewOwnership()},
+		"testdata/src/ownership/fixowner", "testdata/src/ownership/fixwriter")
+	_, pkgs := loadFixtures(t, "testdata/src/ownership/fixowner", "testdata/src/ownership/fixwriter")
+	checkAgainstWants(t, rep, collectWants(pkgs))
+	if rep.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1 (the documented reset-time coupling)", rep.Suppressed)
+	}
 }
 
 func TestSnapshotPass(t *testing.T) {
@@ -300,7 +329,7 @@ func TestPassNamesStable(t *testing.T) {
 		names = append(names, p.Name())
 	}
 	got := strings.Join(names, " ")
-	if got != "maprange wallclock concurrency statskeys snapshot" {
+	if got != "maprange wallclock concurrency statskeys snapshot hotalloc ownership" {
 		t.Errorf("pass suite = %q", got)
 	}
 	_ = fmt.Sprintf // keep fmt imported for future debugging ease

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Baseline diff mode: prosper-lint -baseline old.json exits non-zero
+// only on findings not present in a previously-archived report,
+// enabling incremental adoption of noisy future passes. Findings match
+// on (pass, file, message) — line-insensitive, so unrelated edits that
+// shift a known finding down a file do not break the build — and
+// matching is multiset-style: a baseline entry absorbs at most one
+// current finding, so duplicating a known defect still fails.
+
+// ReadBaseline parses a report previously written by WriteJSON. File
+// paths in a baseline are module-relative (that is what WriteJSON
+// emits), so diffing relativizes the current report the same way.
+func ReadBaseline(r io.Reader) (*Report, error) {
+	var rep Report
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("analysis: malformed baseline report: %w", err)
+	}
+	return &rep, nil
+}
+
+// baselineKey is the line-insensitive identity of a finding.
+type baselineKey struct {
+	Pass, File, Message string
+}
+
+// DiffBaseline returns the findings of rep that are not matched by a
+// baseline entry. Both reports must use the same path base; pass the
+// module root to Relativized first for the live report.
+func DiffBaseline(rep, baseline *Report) []Finding {
+	have := make(map[baselineKey]int)
+	for _, f := range baseline.Findings {
+		have[baselineKey{f.Pass, f.File, f.Message}]++
+	}
+	var fresh []Finding
+	for _, f := range rep.Findings {
+		k := baselineKey{f.Pass, f.File, f.Message}
+		if have[k] > 0 {
+			have[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh
+}

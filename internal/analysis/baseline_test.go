@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadBaselineMalformed(t *testing.T) {
+	if _, err := ReadBaseline(strings.NewReader("not json")); err == nil {
+		t.Error("ReadBaseline accepted malformed input")
+	}
+}
+
+func TestDiffBaseline(t *testing.T) {
+	mk := func(pass, file string, line int, msg string) Finding {
+		return Finding{Pass: pass, File: file, Line: line, Message: msg}
+	}
+	tests := []struct {
+		name     string
+		current  []Finding
+		baseline []Finding
+		fresh    int
+	}{
+		{
+			name:    "empty baseline passes everything through",
+			current: []Finding{mk("hotalloc", "a.go", 10, "append may grow")},
+			fresh:   1,
+		},
+		{
+			name:     "exact match absorbed",
+			current:  []Finding{mk("hotalloc", "a.go", 10, "append may grow")},
+			baseline: []Finding{mk("hotalloc", "a.go", 10, "append may grow")},
+			fresh:    0,
+		},
+		{
+			name:     "line drift still matches",
+			current:  []Finding{mk("hotalloc", "a.go", 42, "append may grow")},
+			baseline: []Finding{mk("hotalloc", "a.go", 10, "append may grow")},
+			fresh:    0,
+		},
+		{
+			name:     "different message is fresh",
+			current:  []Finding{mk("hotalloc", "a.go", 10, "make allocates")},
+			baseline: []Finding{mk("hotalloc", "a.go", 10, "append may grow")},
+			fresh:    1,
+		},
+		{
+			name:     "different file is fresh",
+			current:  []Finding{mk("hotalloc", "b.go", 10, "append may grow")},
+			baseline: []Finding{mk("hotalloc", "a.go", 10, "append may grow")},
+			fresh:    1,
+		},
+		{
+			name:     "different pass is fresh",
+			current:  []Finding{mk("ownership", "a.go", 10, "append may grow")},
+			baseline: []Finding{mk("hotalloc", "a.go", 10, "append may grow")},
+			fresh:    1,
+		},
+		{
+			name: "multiset: one baseline entry absorbs one duplicate only",
+			current: []Finding{
+				mk("hotalloc", "a.go", 10, "append may grow"),
+				mk("hotalloc", "a.go", 20, "append may grow"),
+			},
+			baseline: []Finding{mk("hotalloc", "a.go", 10, "append may grow")},
+			fresh:    1,
+		},
+		{
+			name:    "fixed findings in the baseline are ignored",
+			current: nil,
+			baseline: []Finding{
+				mk("hotalloc", "a.go", 10, "append may grow"),
+				mk("ownership", "b.go", 5, "cross write"),
+			},
+			fresh: 0,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			fresh := DiffBaseline(
+				&Report{Findings: tt.current},
+				&Report{Findings: tt.baseline},
+			)
+			if len(fresh) != tt.fresh {
+				t.Errorf("got %d fresh findings, want %d: %+v", len(fresh), tt.fresh, fresh)
+			}
+		})
+	}
+}

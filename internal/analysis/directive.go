@@ -14,23 +14,33 @@ const DirectivePass = "directive"
 // and friends, it must be a line comment with no space after "//".
 const directivePrefix = "//prosperlint:"
 
-// Directive is one parsed //prosperlint:ignore comment.
+// Directive is one parsed //prosperlint: comment. Two verbs exist:
 //
-// Placement semantics: a directive that shares its line with code
-// suppresses findings on that line; a directive alone on its line
-// suppresses findings on the line directly below it (blank lines do not
-// extend the reach).
+//	//prosperlint:ignore <pass>[,<pass>...] <reason>
+//	//prosperlint:hotpath <reason>
+//
+// Placement semantics are shared: a directive that shares its line with
+// code targets that line; a directive alone on its line targets the
+// line directly below it (blank lines do not extend the reach). An
+// ignore directive suppresses findings on its target line; a hotpath
+// directive declares the function whose `func` keyword sits on its
+// target line as a hot-path root for the hotalloc pass (see callgraph.go).
 type Directive struct {
+	Verb   string   // "ignore" or "hotpath"
 	Line   int      // line the comment sits on
 	Col    int      // column of the comment
-	Target int      // line whose findings it suppresses
-	Passes []string // pass names it applies to
+	Target int      // line it applies to
+	Passes []string // ignore only: pass names it applies to
 	Reason string   // mandatory justification
 	Err    string   // non-empty for a malformed directive
 }
 
-// matchesPass reports whether the directive covers the named pass.
+// matchesPass reports whether the directive suppresses the named pass.
+// Only ignore directives suppress anything.
 func (d Directive) matchesPass(pass string) bool {
+	if d.Verb != "ignore" {
+		return false
+	}
 	for _, p := range d.Passes {
 		if p == pass {
 			return true
@@ -58,12 +68,22 @@ func ParseDirectives(fset *token.FileSet, f *ast.File, src []byte) []Directive {
 			}
 			rest := strings.TrimPrefix(c.Text, directivePrefix)
 			verb, args, _ := strings.Cut(rest, " ")
-			if verb != "ignore" {
-				d.Err = "unknown prosperlint directive //prosperlint:" + verb + " (only \"ignore\" exists)"
+			d.Verb = verb
+			args = strings.TrimSpace(args)
+			if verb == "hotpath" {
+				if args == "" {
+					d.Err = "hotpath directive is missing a reason: say why this function is a hot-path root"
+				} else {
+					d.Reason = args
+				}
 				out = append(out, d)
 				continue
 			}
-			args = strings.TrimSpace(args)
+			if verb != "ignore" {
+				d.Err = "unknown prosperlint directive //prosperlint:" + verb + " (only \"ignore\" and \"hotpath\" exist)"
+				out = append(out, d)
+				continue
+			}
 			passes, reason, _ := strings.Cut(args, " ")
 			reason = strings.TrimSpace(reason)
 			if passes == "" {

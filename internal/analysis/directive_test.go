@@ -32,7 +32,7 @@ func f() {
 }
 `,
 			want: []Directive{{
-				Line: 3, Target: 3,
+				Verb: "ignore", Line: 3, Target: 3,
 				Passes: []string{"wallclock"},
 				Reason: "host timing",
 			}},
@@ -46,7 +46,7 @@ func f() {
 }
 `,
 			want: []Directive{{
-				Line: 3, Target: 4,
+				Verb: "ignore", Line: 3, Target: 4,
 				Passes: []string{"maprange"},
 				Reason: "order independent",
 			}},
@@ -59,7 +59,7 @@ func f() {
 }
 `,
 			want: []Directive{{
-				Line: 3, Target: 3,
+				Verb: "ignore", Line: 3, Target: 3,
 				Passes: []string{"maprange", "wallclock"},
 				Reason: "both are fine here",
 			}},
@@ -72,7 +72,7 @@ func f() {
 }
 `,
 			want: []Directive{{
-				Line: 3, Target: 3,
+				Verb: "ignore", Line: 3, Target: 3,
 				Passes: []string{"wallclock"},
 				Err:    "ignore directive is missing a reason: every suppression must say why the finding is safe",
 			}},
@@ -85,7 +85,7 @@ func f() {
 }
 `,
 			want: []Directive{{
-				Line: 3, Target: 3,
+				Verb: "ignore", Line: 3, Target: 3,
 				Err: "ignore directive is missing a pass name: want //prosperlint:ignore <pass> <reason>",
 			}},
 		},
@@ -97,7 +97,7 @@ func f() {
 }
 `,
 			want: []Directive{{
-				Line: 3, Target: 3,
+				Verb: "ignore", Line: 3, Target: 3,
 				Err: "ignore directive has an empty pass name in its pass list",
 			}},
 		},
@@ -109,8 +109,43 @@ func f() {
 }
 `,
 			want: []Directive{{
-				Line: 3, Target: 3,
-				Err: `unknown prosperlint directive //prosperlint:silence (only "ignore" exists)`,
+				Verb: "silence", Line: 3, Target: 3,
+				Err: `unknown prosperlint directive //prosperlint:silence (only "ignore" and "hotpath" exist)`,
+			}},
+		},
+		{
+			name: "hotpath above a func targets the func line",
+			src: `package p
+//prosperlint:hotpath per-access entry point
+func f() {
+}
+`,
+			want: []Directive{{
+				Verb: "hotpath", Line: 2, Target: 3,
+				Reason: "per-access entry point",
+			}},
+		},
+		{
+			name: "hotpath on the func line targets it",
+			src: `package p
+func f() { //prosperlint:hotpath per-access entry point
+}
+`,
+			want: []Directive{{
+				Verb: "hotpath", Line: 2, Target: 2,
+				Reason: "per-access entry point",
+			}},
+		},
+		{
+			name: "hotpath without a reason is an error",
+			src: `package p
+//prosperlint:hotpath
+func f() {
+}
+`,
+			want: []Directive{{
+				Verb: "hotpath", Line: 2, Target: 3,
+				Err: "hotpath directive is missing a reason: say why this function is a hot-path root",
 			}},
 		},
 		{
@@ -141,7 +176,7 @@ func f() {
 }
 `,
 			want: []Directive{{
-				Line: 3, Target: 4,
+				Verb: "ignore", Line: 3, Target: 4,
 				Passes: []string{"concurrency"},
 				Reason: "unbuffered handoff; deterministic by construction",
 			}},
@@ -163,7 +198,7 @@ func f() {
 }
 
 func TestDirectiveMatchesPass(t *testing.T) {
-	d := Directive{Passes: []string{"maprange", "wallclock"}}
+	d := Directive{Verb: "ignore", Passes: []string{"maprange", "wallclock"}}
 	for pass, want := range map[string]bool{
 		"maprange":    true,
 		"wallclock":   true,
@@ -173,6 +208,12 @@ func TestDirectiveMatchesPass(t *testing.T) {
 		if got := d.matchesPass(pass); got != want {
 			t.Errorf("matchesPass(%q) = %v, want %v", pass, got, want)
 		}
+	}
+	// A hotpath directive never suppresses findings, whatever its target
+	// line carries.
+	h := Directive{Verb: "hotpath", Passes: []string{"maprange"}}
+	if h.matchesPass("maprange") {
+		t.Error("hotpath directive matched a pass; only ignore directives suppress")
 	}
 }
 

@@ -1,0 +1,53 @@
+package analysis
+
+import "fmt"
+
+// HotAlloc turns the PR 6/7/9 zero-allocation invariant into a
+// lint-time gate over the whole reachable hot path, instead of the
+// three benchmarked round trips pinned by testing.AllocsPerRun. Hot
+// entry points declare themselves with
+//
+//	//prosperlint:hotpath <reason>
+//
+// and every function reachable from a root through the interprocedural
+// call graph (callgraph.go: calls, conservative interface fan-out,
+// sim.Thunk/Bind continuations, function-value refs) is swept for
+// statically-detectable allocation sites (summary.go): capturing
+// closures, interface boxing, append, heap-bound literals, make/new,
+// string concatenation, and fmt.* calls.
+//
+// Sites that are genuinely amortized or cold (free-list refills,
+// boot-time growth, error paths that abort the run) carry reasoned
+// //prosperlint:ignore directives, so the suppression inventory is the
+// documented list of every allocation the hot path is still allowed.
+type HotAlloc struct{}
+
+// NewHotAlloc returns the pass.
+func NewHotAlloc() *HotAlloc { return &HotAlloc{} }
+
+// Name implements Pass.
+func (*HotAlloc) Name() string { return "hotalloc" }
+
+// Doc implements Pass.
+func (*HotAlloc) Doc() string {
+	return "allocation sites in functions reachable from //prosperlint:hotpath roots"
+}
+
+// Run implements Pass. The work is whole-program; see RunProgram.
+func (*HotAlloc) Run(pkg *Package, r *Reporter) {}
+
+// RunProgram implements ProgramPass: report every allocation site in
+// every hot-reachable function. Nodes are visited in sorted-ID order
+// and sites in source order, so findings are deterministic before the
+// report's own sort.
+func (*HotAlloc) RunProgram(prog *Program, r *Reporter) {
+	for _, n := range prog.Nodes {
+		if !n.Hot() {
+			continue
+		}
+		for _, a := range n.Allocs {
+			r.Report("hotalloc", a.Pos, fmt.Sprintf(
+				"%s in hot function %s (via root %s)", a.Desc, n.ID, n.Via.ID))
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import "fmt"
+
+// Ownership is the machine-checked shared-state ownership map that
+// ROADMAP item 2 (the deterministic parallel engine) requires before
+// the event wheel can be sharded: every write site in sim-deterministic
+// code is attributed to the component domain that owns the written
+// state (domainOf: the package after internal/, which coincides with
+// the sim.Component names), and a write that crosses domains must be on
+// the documented boundary list below or it is a finding.
+//
+// The full inventory — same-domain writes included — is rendered by
+// Program.OwnershipMap into the -graph-out artifact, byte-identical
+// across runs. internal/sim/par will extend the boundary list with its
+// vetted cross-shard channels; until then the list is exactly the
+// coupling the current single-threaded machine is known to have.
+type Ownership struct{}
+
+// NewOwnership returns the pass.
+func NewOwnership() *Ownership { return &Ownership{} }
+
+// Name implements Pass.
+func (*Ownership) Name() string { return "ownership" }
+
+// Doc implements Pass.
+func (*Ownership) Doc() string {
+	return "cross-component writes to shared machine state outside the documented boundary list"
+}
+
+// Run implements Pass. The work is whole-program; see RunProgram.
+func (*Ownership) Run(pkg *Package, r *Reporter) {}
+
+// ownershipBoundary is one sanctioned cross-domain write: writer-domain
+// code may write owner-domain state matching State ("Type.Field",
+// "var Name", or "*" for the whole domain pair). Every entry needs a
+// reason; the table is documentation as much as configuration.
+type ownershipBoundary struct {
+	Writer string
+	Owner  string
+	State  string
+	Reason string
+}
+
+// ownershipBoundaries is the documented boundary list. Keep it sorted
+// by (Writer, Owner, State); DESIGN.md §16 explains each coupling.
+var ownershipBoundaries = []ownershipBoundary{
+	// internal/machine is the documented multi-component package: it
+	// assembles cores, caches, TLBs, and devices, and its per-access
+	// plumbing legitimately owns vm-layer bookkeeping at access issue
+	// time (sim.Component tags machine's call sites by role for the
+	// same reason).
+	{"machine", "vm", "*", "machine implements the address-translation path: TLB fills and page-table walk state are written at access issue time"},
+
+	// The kernel is the OS model: it owns process lifecycle across every
+	// component (context switches poke core state, checkpoints drive
+	// persistence mechanisms, faults update address spaces).
+	{"kernel", "machine", "*", "the kernel schedules threads onto cores and drives checkpoint quiesce/resume on the machine"},
+	{"kernel", "vm", "*", "the kernel's fault handler and process setup own address-space layout"},
+	{"kernel", "prosper", "*", "checkpoint epochs reset the prosper tracker's per-epoch state"},
+	{"kernel", "persist", "*", "the kernel sequences persistence mechanisms through checkpoint phases"},
+	{"kernel", "workload", "*", "the kernel steps workload threads and consumes their operation streams"},
+
+	// Persistence mechanisms replay stores into the memory image and
+	// drive the dirty tracker during checkpoint commit.
+	{"persist", "mem", "*", "mechanisms persist pages/lines into the NVM domain at commit time"},
+	{"persist", "prosper", "*", "mechanisms flush and clear the prosper tracker during commit"},
+	{"persist", "vm", "PTE.Flags", "the dirtybit mechanism's checkpoint scan clears hardware dirty bits — the paper's PTE-based tracking interface"},
+
+	// The tracer tap is machine's documented observation interface:
+	// Core.Tracer exists to be installed/removed by the trace recorder.
+	{"trace", "machine", "Core.Tracer", "Recorder.Attach installs the per-access tap on a core; detach writes nil"},
+
+	// The crash harness and experiment drivers are sim-deterministic
+	// orchestration: they construct, perturb, and inspect whole machines
+	// by design.
+	{"crash", "*", "*", "the crash harness perturbs and inspects machine state to model power failure"},
+	{"experiments", "*", "*", "experiment plans assemble and configure whole machines"},
+}
+
+// boundaryAllowed reports whether a writer-domain write to owner-domain
+// state is on the boundary list.
+func boundaryAllowed(writer, owner, state string) bool {
+	for _, b := range ownershipBoundaries {
+		if b.Writer != writer {
+			continue
+		}
+		if b.Owner != "*" && b.Owner != owner {
+			continue
+		}
+		if b.State == "*" || b.State == state {
+			return true
+		}
+	}
+	return false
+}
+
+// RunProgram implements ProgramPass: flag cross-domain writes from
+// sim-deterministic code that the boundary list does not sanction.
+func (*Ownership) RunProgram(prog *Program, r *Reporter) {
+	for _, n := range prog.Nodes {
+		if !isDeterministicPkg(n.Pkg.Path) {
+			continue
+		}
+		writer := domainOf(n.Pkg.Path)
+		for _, w := range n.Writes {
+			if w.Owner == writer || boundaryAllowed(writer, w.Owner, w.State) {
+				continue
+			}
+			r.Report("ownership", w.Pos, fmt.Sprintf(
+				"%s code writes %s-owned state %s: cross-component write not on the documented boundary list",
+				writer, w.Owner, w.State))
+		}
+	}
+}

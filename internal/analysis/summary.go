@@ -1,0 +1,476 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Per-function summaries: the effect inventory the interprocedural
+// passes consume. collectSummary walks one function body (closures
+// included, attributed to the enclosing declaration) and records
+//
+//   - AllocSites: every statically-detectable heap allocation the gc
+//     compiler cannot elide regardless of escape analysis mood —
+//     capturing closures, interface boxing of non-pointer-shaped
+//     values, append, map/slice/&struct literals, make/new, string
+//     concatenation, and fmt.* calls;
+//   - WriteSites: every write to a package-level variable or to a field
+//     of a named struct type, attributed to the component domain that
+//     owns the written state.
+//
+// The summaries are deterministic: sites are recorded in source order
+// and carry token positions only.
+
+// AllocKind classifies one allocation site.
+type AllocKind uint8
+
+const (
+	AllocClosure AllocKind = iota
+	AllocBox
+	AllocAppend
+	AllocLit
+	AllocMake
+	AllocConcat
+	AllocFmt
+)
+
+var allocKindNames = [...]string{
+	"closure", "box", "append", "lit", "make", "concat", "fmt",
+}
+
+// String returns the kind's stable name (used in finding messages).
+func (k AllocKind) String() string { return allocKindNames[k] }
+
+// AllocSite is one statically-detected allocation in a function body.
+type AllocSite struct {
+	Kind AllocKind
+	Pos  token.Pos
+	Desc string // human-readable site description
+}
+
+// WriteSite is one write to shared state: a package-level variable or a
+// field of a named struct type.
+type WriteSite struct {
+	Pos    token.Pos
+	Owner  string // component domain owning the written state
+	State  string // "Type.Field" or "var Name"
+	PkgVar bool   // true for package-level variable writes
+}
+
+// domainOf maps an import path to its component ownership domain: the
+// path segment after the last "internal/" ("prosper/internal/cache" ->
+// "cache"), or the last path segment otherwise. For the simulator's
+// packages this coincides with the sim.Component names (machine being
+// the documented multi-component package).
+func domainOf(path string) string {
+	if i := strings.LastIndex(path, "internal/"); i >= 0 {
+		rest := path[i+len("internal/"):]
+		if j := strings.Index(rest, "/"); j >= 0 {
+			rest = rest[:j]
+		}
+		return rest
+	}
+	if j := strings.LastIndex(path, "/"); j >= 0 {
+		return path[j+1:]
+	}
+	return path
+}
+
+// collectSummary fills n.Allocs and n.Writes from the function body.
+func collectSummary(p *Program, n *FuncNode) {
+	info := n.Pkg.Info
+	body := n.Decl.Body
+
+	addAlloc := func(kind AllocKind, pos token.Pos, format string, args ...any) {
+		n.Allocs = append(n.Allocs, AllocSite{
+			Kind: kind, Pos: pos, Desc: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// fmtCalls records calls already flagged as fmt.* so their boxed
+	// arguments are not double-reported.
+	fmtCalls := make(map[*ast.CallExpr]bool)
+
+	recordWrite := func(pos token.Pos, lhs ast.Expr) {
+		lhs = ast.Unparen(lhs)
+		// Writing through an index expression mutates the indexed
+		// container; attribute the write to the container itself.
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			lhs = ast.Unparen(ix.X)
+		}
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			v, ok := info.ObjectOf(l).(*types.Var)
+			if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+				return
+			}
+			n.Writes = append(n.Writes, WriteSite{
+				Pos: pos, Owner: domainOf(v.Pkg().Path()),
+				State: "var " + v.Name(), PkgVar: true,
+			})
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[l]; ok && sel.Kind() == types.FieldVal {
+				field, _ := sel.Obj().(*types.Var)
+				if field == nil || field.Pkg() == nil {
+					return
+				}
+				// A field write through a value-typed local (op.Kind = ...
+				// where op is a plain struct variable) mutates the local
+				// copy, not shared state.
+				if base, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+					if v, ok := info.ObjectOf(base).(*types.Var); ok && !v.IsField() &&
+						v.Pkg() != nil && v.Parent() != v.Pkg().Scope() {
+						if _, isPtr := v.Type().Underlying().(*types.Pointer); !isPtr {
+							return
+						}
+					}
+				}
+				recv := sel.Recv()
+				if ptr, ok := recv.(*types.Pointer); ok {
+					recv = ptr.Elem()
+				}
+				typeName := "?"
+				if named, ok := recv.(*types.Named); ok {
+					typeName = named.Obj().Name()
+				}
+				n.Writes = append(n.Writes, WriteSite{
+					Pos: pos, Owner: domainOf(field.Pkg().Path()),
+					State: typeName + "." + field.Name(),
+				})
+				return
+			}
+			// Qualified package-level variable: otherpkg.Var = x.
+			if v, ok := info.Uses[l.Sel].(*types.Var); ok &&
+				v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				n.Writes = append(n.Writes, WriteSite{
+					Pos: pos, Owner: domainOf(v.Pkg().Path()),
+					State: "var " + v.Name(), PkgVar: true,
+				})
+			}
+		}
+	}
+
+	walkWithStack(body, func(node ast.Node, stack []ast.Node) bool {
+		switch e := node.(type) {
+		case *ast.AssignStmt:
+			if e.Tok != token.DEFINE {
+				for _, lhs := range e.Lhs {
+					recordWrite(lhs.Pos(), lhs)
+				}
+			}
+			if e.Tok == token.ADD_ASSIGN && len(e.Lhs) == 1 && isStringExpr(info, e.Lhs[0]) {
+				addAlloc(AllocConcat, e.Pos(), "string concatenation (+=) builds a new string")
+			}
+			// Plain assignment of a concrete value into an interface-typed
+			// location boxes it.
+			if e.Tok == token.ASSIGN && len(e.Lhs) == len(e.Rhs) {
+				for i, lhs := range e.Lhs {
+					lt := info.TypeOf(lhs)
+					if lt != nil && isInterfaceType(lt) && boxes(info, e.Rhs[i]) {
+						addAlloc(AllocBox, e.Rhs[i].Pos(), "assignment boxes into %s",
+							types.TypeString(lt, shortQualifier))
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			recordWrite(e.X.Pos(), e.X)
+		case *ast.FuncLit:
+			if capt := closureCaptures(info, e); len(capt) > 0 {
+				addAlloc(AllocClosure, e.Pos(),
+					"func literal captures %s: allocates a closure per evaluation", quoteList(capt))
+			}
+		case *ast.SelectorExpr:
+			// A method value (x.M used as a value, not called) allocates
+			// a closure binding the receiver — the reason the hot path
+			// materializes method values once at construction time.
+			if s, ok := info.Selections[e]; ok && s.Kind() == types.MethodVal &&
+				!isCalleePosition(e, stack) {
+				addAlloc(AllocClosure, e.Pos(),
+					"method value %s allocates a closure per evaluation (bind it once at construction)", e.Sel.Name)
+			}
+		case *ast.BinaryExpr:
+			// Report only the outermost + of an a+b+c chain: the compiler
+			// concatenates the whole chain in one runtime call.
+			if e.Op == token.ADD && isStringExpr(info, e) && !isConstExpr(info, e) {
+				if len(stack) > 0 {
+					if p, ok := stack[len(stack)-1].(*ast.BinaryExpr); ok &&
+						p.Op == token.ADD && isStringExpr(info, p) {
+						return true
+					}
+				}
+				addAlloc(AllocConcat, e.Pos(), "string concatenation builds a new string")
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					addAlloc(AllocLit, e.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			t := info.TypeOf(e)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				addAlloc(AllocLit, e.Pos(), "map literal allocates")
+			case *types.Slice:
+				addAlloc(AllocLit, e.Pos(), "slice literal allocates a backing array")
+			}
+		case *ast.CallExpr:
+			classifyCallAlloc(info, e, stack, fmtCalls, addAlloc)
+		}
+		return true
+	})
+
+	sort.SliceStable(n.Allocs, func(i, j int) bool { return n.Allocs[i].Pos < n.Allocs[j].Pos })
+	sort.SliceStable(n.Writes, func(i, j int) bool { return n.Writes[i].Pos < n.Writes[j].Pos })
+}
+
+// classifyCallAlloc handles the call-shaped allocation sites: builtins
+// (append/make/new), fmt.* calls, and interface boxing at argument
+// positions.
+func classifyCallAlloc(info *types.Info, call *ast.CallExpr, stack []ast.Node,
+	fmtCalls map[*ast.CallExpr]bool, addAlloc func(AllocKind, token.Pos, string, ...any)) {
+
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin {
+			switch fun.Name {
+			case "append":
+				addAlloc(AllocAppend, call.Pos(), "append may grow the backing array")
+			case "new":
+				addAlloc(AllocMake, call.Pos(), "new(T) allocates")
+			case "make":
+				addAlloc(AllocMake, call.Pos(), "make allocates")
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if importedPkgOf(info, fun.X) == "fmt" {
+			fmtCalls[call] = true
+			addAlloc(AllocFmt, call.Pos(),
+				"fmt.%s allocates (formatting machinery and argument boxing)", fun.Sel.Name)
+			return
+		}
+	}
+
+	// Conversions to interface types box non-pointer-shaped values.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if isInterfaceType(tv.Type) && len(call.Args) == 1 && boxes(info, call.Args[0]) {
+			addAlloc(AllocBox, call.Pos(), "conversion to %s boxes its operand", types.TypeString(tv.Type, nil))
+		}
+		return
+	}
+
+	// Boxing at argument positions of ordinary calls: a concrete
+	// non-pointer-shaped value passed where an interface is expected.
+	// Arguments of fmt.* calls are covered by the fmt finding above.
+	if enclosedByFmt(stack, fmtCalls) || fmtCalls[call] {
+		return
+	}
+	sig := callSignature(info, call)
+	if sig == nil {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var paramType types.Type
+		if sig.Variadic() && i >= np-1 {
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no per-element box
+			}
+			if sl, ok := sig.Params().At(np - 1).Type().Underlying().(*types.Slice); ok {
+				paramType = sl.Elem()
+			}
+		} else if i < np {
+			paramType = sig.Params().At(i).Type()
+		}
+		if paramType == nil || !isInterfaceType(paramType) {
+			continue
+		}
+		if boxes(info, arg) {
+			addAlloc(AllocBox, arg.Pos(), "argument boxes into %s parameter",
+				types.TypeString(paramType, shortQualifier))
+		}
+	}
+}
+
+// shortQualifier renders foreign package names bare ("any", "io.Writer"
+// -> "Writer" would lose too much; keep package base names).
+func shortQualifier(pkg *types.Package) string { return pkg.Name() }
+
+// callSignature resolves the signature a call is invoked with, or nil
+// for builtins and unresolvable callees.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// enclosedByFmt reports whether one of the node's ancestors is an
+// already-flagged fmt call (its arguments are part of that finding).
+func enclosedByFmt(stack []ast.Node, fmtCalls map[*ast.CallExpr]bool) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if c, ok := stack[i].(*ast.CallExpr); ok && fmtCalls[c] {
+			return true
+		}
+	}
+	return false
+}
+
+// boxes reports whether passing expr into an interface slot allocates:
+// the static type must be concrete and not pointer-shaped, and the
+// value must not be a compile-time constant (the compiler interns
+// those) or nil.
+func boxes(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil || tv.Value != nil || tv.IsNil() {
+		return false
+	}
+	t := tv.Type.Underlying()
+	switch t.(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		b := t.(*types.Basic)
+		if b.Kind() == types.UnsafePointer || b.Kind() == types.UntypedNil {
+			return false
+		}
+	}
+	return true
+}
+
+// isCalleePosition reports whether expr is the callee of its nearest
+// non-paren ancestor call.
+func isCalleePosition(expr ast.Expr, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.CallExpr:
+			return ast.Unparen(p.Fun) == expr
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// isStringExpr reports whether expr has string type.
+func isStringExpr(info *types.Info, expr ast.Expr) bool {
+	t := info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isConstExpr reports whether expr folds to a compile-time constant.
+func isConstExpr(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	return ok && tv.Value != nil
+}
+
+// closureCaptures returns the (sorted, deduped) names of variables a
+// function literal captures from its enclosing function: objects used
+// inside the literal but declared outside it, excluding package-level
+// variables (no capture needed) and struct fields (reached through a
+// captured base).
+func closureCaptures(info *types.Info, lit *ast.FuncLit) []string {
+	seen := make(map[string]bool)
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package-level: addressed statically
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the literal (params included)
+		}
+		if !seen[v.Name()] {
+			seen[v.Name()] = true
+			names = append(names, v.Name())
+		}
+		return true
+	})
+	sort.Strings(names)
+	return names
+}
+
+// quoteList renders up to three names as a quoted, comma-separated
+// list.
+func quoteList(names []string) string {
+	const max = 3
+	quoted := make([]string, 0, max+1)
+	for i, n := range names {
+		if i == max {
+			quoted = append(quoted, fmt.Sprintf("(+%d more)", len(names)-max))
+			break
+		}
+		quoted = append(quoted, fmt.Sprintf("%q", n))
+	}
+	return strings.Join(quoted, ", ")
+}
+
+// OwnershipRow is one line of the component→state write map: a writing
+// domain, the state it writes, how many sites do so, and whether the
+// pair is same-domain, an allowed boundary, or a violation.
+type OwnershipRow struct {
+	Writer string
+	State  string // "owner.Type.Field" or "owner.var Name"
+	Sites  int
+	Status string // "own", "boundary", or "cross"
+}
+
+// OwnershipMap aggregates every write site in sim-deterministic
+// packages into the deterministic component→state write map rendered by
+// WriteGraph and extended (via the boundary allowlist) by the future
+// internal/sim/par engine.
+func (p *Program) OwnershipMap() []OwnershipRow {
+	type key struct{ writer, state, status string }
+	counts := make(map[key]int)
+	for _, n := range p.Nodes {
+		if !isDeterministicPkg(n.Pkg.Path) {
+			continue
+		}
+		writer := domainOf(n.Pkg.Path)
+		for _, w := range n.Writes {
+			status := "own"
+			if w.Owner != writer {
+				if boundaryAllowed(writer, w.Owner, w.State) {
+					status = "boundary"
+				} else {
+					status = "cross"
+				}
+			}
+			counts[key{writer, w.Owner + "." + w.State, status}]++
+		}
+	}
+	rows := make([]OwnershipRow, 0, len(counts))
+	for k, c := range counts {
+		rows = append(rows, OwnershipRow{Writer: k.writer, State: k.state, Sites: c, Status: k.status})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Writer != rows[j].Writer {
+			return rows[i].Writer < rows[j].Writer
+		}
+		return rows[i].State < rows[j].State
+	})
+	return rows
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/types"
+	"testing"
+)
+
+func TestDomainOf(t *testing.T) {
+	for path, want := range map[string]string{
+		"prosper/internal/cache":        "cache",
+		"prosper/internal/sim/par":      "sim",
+		"prosper/internal/mem":          "mem",
+		"example.com/other/internal/vm": "vm",
+		"prosper":                       "prosper",
+		"some/plain/pkg":                "pkg",
+		"pkg":                           "pkg",
+	} {
+		if got := domainOf(path); got != want {
+			t.Errorf("domainOf(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestModuleQualifier(t *testing.T) {
+	q := moduleQualifier("prosper")
+	for path, want := range map[string]string{
+		"prosper/internal/cache": "internal/cache",
+		"prosper":                "x", // module root renders by package name
+		"fmt":                    "fmt",
+	} {
+		if got := q(types.NewPackage(path, "x")); got != want {
+			t.Errorf("qualifier(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	allocWants := map[AllocKind]string{
+		AllocClosure: "closure", AllocBox: "box", AllocAppend: "append",
+		AllocLit: "lit", AllocMake: "make", AllocConcat: "concat", AllocFmt: "fmt",
+	}
+	for k, want := range allocWants {
+		if k.String() != want {
+			t.Errorf("AllocKind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	edgeWants := map[EdgeKind]string{
+		EdgeCall: "call", EdgeIface: "iface",
+		EdgeContinuation: "continuation", EdgeRef: "ref",
+	}
+	for k, want := range edgeWants {
+		if k.String() != want {
+			t.Errorf("EdgeKind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestQuoteList(t *testing.T) {
+	for _, tc := range []struct {
+		in   []string
+		want string
+	}{
+		{[]string{"a"}, `"a"`},
+		{[]string{"a", "b", "c"}, `"a", "b", "c"`},
+		{[]string{"a", "b", "c", "d", "e"}, `"a", "b", "c", (+2 more)`},
+	} {
+		if got := quoteList(tc.in); got != tc.want {
+			t.Errorf("quoteList(%v) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+// The per-package Run hooks of the interprocedural passes are
+// intentionally empty (all work happens in RunProgram); pin that they
+// stay no-ops so nothing double-reports.
+func TestProgramPassRunIsNoOp(t *testing.T) {
+	r := &Reporter{}
+	NewHotAlloc().Run(nil, r)
+	NewOwnership().Run(nil, r)
+	if len(r.findings) != 0 {
+		t.Errorf("per-package Run produced findings: %+v", r.findings)
+	}
+}

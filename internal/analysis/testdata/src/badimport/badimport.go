@@ -1,0 +1,9 @@
+// Package badimport exercises the Loader's unresolved-import error
+// path: the module-local import below maps to no directory in the
+// repository, so type-checking must fail with a useful error rather
+// than a panic or a silent nil package.
+package badimport
+
+import "prosper/internal/definitely/missing"
+
+var _ = missing.Nothing

@@ -1,0 +1,77 @@
+// Package fixhot is a hotalloc-pass fixture: a miniature device with a
+// declared hot-path root, exercising every allocation-site class the
+// summary walker detects, plus continuation-target reachability through
+// the real sim package and a cold function proving reachability stops
+// at non-hot roots.
+package fixhot
+
+import (
+	"fmt"
+
+	"prosper/internal/sim"
+)
+
+// Dev is the fixture component.
+type Dev struct {
+	eng   *sim.Engine
+	doneT sim.Done
+	n     int
+	sink  any
+	buf   []int
+	name  string
+	last  *Req
+	out   sink
+}
+
+// Req is a request record.
+type Req struct{ Addr uint64 }
+
+// sink is a local interface: calls through it fan out conservatively to
+// every implementing method in the module (here, just *tap.put).
+type sink interface{ put(v int) }
+
+// tap implements sink.
+type tap struct{ n int }
+
+func (t *tap) put(v int) { t.n += v }
+
+//prosperlint:hotpath fixture hot entry point
+func (d *Dev) Access(addr uint64) {
+	x := addr
+	d.eng.Schedule(sim.CompMem, 1, func() { // want:hotalloc "func literal captures"
+		d.n += int(x)
+	})
+	d.doneT = sim.Thunk(sim.CompMem, d.onDone) // want:hotalloc "method value onDone allocates"
+	d.record(addr)
+}
+
+// record is reachable from Access through a direct call edge; the
+// interface call fans out to *tap.put, making it hot too.
+func (d *Dev) record(addr uint64) {
+	d.sink = addr                    // want:hotalloc "assignment boxes into any"
+	d.buf = append(d.buf, int(addr)) // want:hotalloc "append may grow the backing array"
+	d.last = &Req{Addr: addr}        // want:hotalloc "composite literal escapes"
+	d.out.put(int(addr))
+}
+
+// onDone is reachable from Access only as a sim.Thunk continuation
+// target: the engine will dispatch it, so it is hot.
+func (d *Dev) onDone() {
+	d.name = d.name + "!"      // want:hotalloc "string concatenation"
+	fmt.Println(d.name)        // want:hotalloc "fmt.Println allocates"
+	d.n += len(make([]int, 8)) // want:hotalloc "make allocates"
+}
+
+// cold is not reachable from any hot-path root: the same allocation
+// shapes as above produce no findings here (reachability stops at
+// non-hot functions).
+func (d *Dev) cold() {
+	d.sink = d.n
+	d.buf = append(d.buf, 1)
+	d.name = d.name + "?"
+	d.last = &Req{}
+}
+
+// ColdEntry calls cold but is itself undeclared, so nothing here is
+// hot.
+func (d *Dev) ColdEntry() { d.cold() }

@@ -1,0 +1,21 @@
+// Package fixowner is the state-owning side of the ownership-pass
+// fixture pair: it declares shared machine state (a struct type and a
+// package-level variable) that the fixwriter package pokes from a
+// different component domain.
+package fixowner
+
+// Epoch is package-level mutable state owned by the fixowner domain.
+var Epoch int
+
+// Table is shared machine state.
+type Table struct {
+	Head    int
+	Entries []int
+}
+
+// Advance is the sanctioned mutation path: fixowner code writing
+// fixowner state is same-domain and never a finding.
+func (t *Table) Advance() {
+	t.Head++
+	Epoch++
+}

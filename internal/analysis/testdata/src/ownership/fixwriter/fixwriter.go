@@ -1,0 +1,31 @@
+// Package fixwriter is the writing side of the ownership-pass fixture
+// pair. It is analyzed under a sim-deterministic import path (posing as
+// internal/trace), so its writes are sim-time writes; the fixowner
+// package it imports belongs to a different component domain, and no
+// boundary-list entry sanctions the coupling.
+package fixwriter
+
+import "prosper/internal/fixowner"
+
+// Cursor is fixwriter-owned state.
+type Cursor struct {
+	pos  int
+	tab  *fixowner.Table
+	tabs []*fixowner.Table
+}
+
+// Step writes state across the component boundary.
+func (c *Cursor) Step() {
+	c.pos++                  // own state: inventoried, never a finding
+	c.tab.Head = c.pos       // want:ownership "writes fixowner-owned state Table.Head"
+	c.tab.Entries[0] = c.pos // want:ownership "writes fixowner-owned state Table.Entries"
+	fixowner.Epoch = c.pos   // want:ownership "writes fixowner-owned state var Epoch"
+	c.tabs[0].Head++         // want:ownership "writes fixowner-owned state Table.Head"
+	c.tab.Advance()          // method-mediated mutation: attributed to fixowner itself
+}
+
+// Documented exception: the pass accepts a reasoned suppression like
+// any other.
+func (c *Cursor) Reset() {
+	c.tab.Head = 0 //prosperlint:ignore ownership fixture: documented reset-time coupling
+}

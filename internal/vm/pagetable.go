@@ -99,7 +99,7 @@ func indexAt(vaddr uint64, level int) int {
 
 func checkVA(vaddr uint64) {
 	if vaddr >= MaxVirtual {
-		panic(fmt.Sprintf("vm: non-canonical virtual address %#x", vaddr))
+		panic(fmt.Sprintf("vm: non-canonical virtual address %#x", vaddr)) //prosperlint:ignore hotalloc panic path: the message formats only for a non-canonical address abort
 	}
 }
 
